@@ -1,0 +1,32 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/table.h"
+
+namespace nws::bench {
+
+/// Standard flags every reproduction bench accepts.
+inline void add_common_flags(Cli& cli) {
+  cli.add_flag("reps", "3", "repetitions per configuration");
+  cli.add_flag("seed", "1", "base seed");
+  cli.add_flag("csv", "", "also write results to this CSV file");
+  cli.add_flag("quick", "false", "reduced sweep for smoke runs");
+}
+
+inline void emit(const Table& table, const std::string& title, const Cli& cli) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  const std::string csv = cli.get("csv");
+  if (!csv.empty()) {
+    table.write_csv_file(csv);
+    std::cout << "(CSV written to " << csv << ")\n";
+  }
+  std::cout.flush();
+}
+
+}  // namespace nws::bench

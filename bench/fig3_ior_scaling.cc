@@ -1,0 +1,69 @@
+// Reproduces Fig. 3: mean synchronous write/read bandwidth, IOR DAOS
+// segments mode, access pattern A, versus server node count.
+//
+// Paper observations to match (Section 6.2):
+//   * bandwidth rises linearly with server nodes: ~2.5 GiB/s write and
+//     ~3.75 GiB/s read per additional engine (2 engines per node);
+//   * configurations with twice as many client nodes as server nodes
+//     perform best; 4x adds little; fewer clients than 2x loses bandwidth;
+//   * above 8 server nodes the scaling rate decreases slightly.
+//
+// For each (server, client) combination the mean synchronous bandwidth of
+// the best-performing processes-per-node value is reported.
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace nws;
+  Cli cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("servers", "1,2,4,8,10", "server node counts");
+  cli.add_flag("ppn", "24,48,96", "processes-per-node candidates");
+  cli.add_flag("segments", "100", "IOR segment count (-s)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_bool("quick");
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  std::vector<std::size_t> servers;
+  for (const auto v : cli.get_int_list("servers")) servers.push_back(static_cast<std::size_t>(v));
+  std::vector<std::size_t> ppn_candidates;
+  for (const auto v : cli.get_int_list("ppn")) ppn_candidates.push_back(static_cast<std::size_t>(v));
+  if (quick) {
+    servers = {1, 2, 4};
+    ppn_candidates = {24, 48};
+  }
+
+  Table table({"server nodes", "client nodes", "best ppn", "write (GiB/s)", "read (GiB/s)",
+               "write/engine", "read/engine"});
+
+  for (const std::size_t s : servers) {
+    std::vector<std::size_t> client_counts{s, 2 * s};
+    if (s <= 2 && !quick) client_counts.push_back(4 * s);
+    for (const std::size_t c : client_counts) {
+      const bench::BestOfPpn best = bench::best_over_ppn(
+          ppn_candidates, reps, seed + s * 131 + c,
+          [&](std::size_t ppn, std::uint64_t rep_seed) {
+            daos::ClusterConfig cfg = bench::testbed_config(s, c);
+            ior::IorParams params;
+            params.segments = static_cast<std::uint32_t>(cli.get_int("segments"));
+            params.processes_per_node = ppn;
+            return bench::run_ior_once(cfg, params, rep_seed);
+          });
+      if (best.summary.write.empty()) {
+        table.add_row({std::to_string(s), std::to_string(c), "-", "failed", best.summary.failure});
+        continue;
+      }
+      const double w = best.summary.write.mean();
+      const double r = best.summary.read.mean();
+      const auto engines = static_cast<double>(2 * s);
+      table.add_row({std::to_string(s), std::to_string(c), std::to_string(best.ppn), strf("%.1f", w),
+                     strf("%.1f", r), strf("%.2f", w / engines), strf("%.2f", r / engines)});
+    }
+  }
+
+  std::cout << "paper: write ~2.5 GiB/s/engine; read ~3.75 GiB/s/engine (5 at a single node);\n"
+               "       2x client nodes best; slight droop above 8 server nodes\n";
+  bench::emit(table, "Fig. 3: IOR segments, access pattern A, mean synchronous bandwidth", cli);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Fig. 5: Field I/O benchmark, global timing bandwidth, LOW
+// contention (each process owns its forecast index Key-Value), patterns A
+// and B, up to 12 server nodes.
+//
+// Paper observations to match (Section 6.3.1):
+//   * pattern A: "no containers" scales with "no index"; for write at large
+//     node counts the indexed mode even wins;
+//   * pattern A, full mode: runs FAILED beyond 8 server nodes (a DAOS issue
+//     the paper reported upstream, Section 7) — reproduced via fault
+//     injection (disable with --no-emulate-issues);
+//   * pattern B: "no containers" stands out at ~2.75 GiB/s aggregated per
+//     engine, reaching ~70 GiB/s with 12 server nodes; full and no-index
+//     scale at ~1.6 GiB/s aggregated per engine;
+//   * both patterns decline beyond ~10 server nodes.
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace nws;
+  Cli cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("reps", "2", "repetitions per configuration");
+  cli.add_flag("servers", "1,2,4,8,10,12", "server node counts");
+  cli.add_flag("ops", "30", "field I/O operations per process (paper: 2000)");
+  cli.add_flag("ppn", "32", "processes per client node");
+  cli.add_flag("emulate-issues", "true", "emulate the >8-server container creation issue");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_bool("quick");
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  std::vector<std::size_t> servers;
+  for (const auto v : cli.get_int_list("servers")) servers.push_back(static_cast<std::size_t>(v));
+  if (quick) servers = {1, 2};
+
+  Table table({"pattern", "mode", "server nodes", "write (GiB/s)", "read (GiB/s)",
+               "aggregated/engine", "note"});
+
+  for (const char pattern : {'A', 'B'}) {
+    for (const fdb::Mode mode : {fdb::Mode::full, fdb::Mode::no_containers, fdb::Mode::no_index}) {
+      for (const std::size_t s : servers) {
+        const std::size_t clients = 2 * s;
+        bench::FieldBenchParams params;
+        params.mode = mode;
+        params.shared_forecast_index = false;  // low contention
+        params.ops_per_process = quick ? 10 : static_cast<std::uint32_t>(cli.get_int("ops"));
+        params.processes_per_node = static_cast<std::size_t>(cli.get_int("ppn"));
+
+        daos::ClusterConfig cfg = bench::testbed_config(s, clients);
+        // The paper reports the failure for pattern A runs specifically.
+        cfg.faults.container_create_issue = cli.get_bool("emulate-issues") && pattern == 'A';
+
+        const bench::RepetitionSummary summary =
+            bench::repeat(reps, seed + s * 23 + static_cast<std::uint64_t>(mode), [&](std::uint64_t rs) {
+              return bench::run_field_once(cfg, params, pattern, rs);
+            });
+        if (summary.write.empty() && summary.read.empty()) {
+          table.add_row({std::string(1, pattern), fdb::mode_name(mode), std::to_string(s), "-", "-", "-",
+                         "FAILED: " + summary.failure});
+          continue;
+        }
+        const double w = summary.write.empty() ? 0.0 : summary.write.mean();
+        const double r = summary.read.empty() ? 0.0 : summary.read.mean();
+        table.add_row({std::string(1, pattern), fdb::mode_name(mode), std::to_string(s), strf("%.1f", w),
+                       strf("%.1f", r), strf("%.2f", (w + r) / static_cast<double>(2 * s)),
+                       summary.any_failed ? "some repetitions failed" : ""});
+      }
+    }
+  }
+
+  std::cout << "paper: pattern B no-containers ~2.75 aggregated/engine (~70 GiB/s @ 12 servers);\n"
+               "       full & no-index ~1.6; full mode pattern A fails > 8 servers\n";
+  bench::emit(table, "Fig. 5: Field I/O, low contention (index KV per process)", cli);
+  return 0;
+}

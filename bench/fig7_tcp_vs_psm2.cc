@@ -1,0 +1,71 @@
+// Reproduces Fig. 7: IOR segments benchmark, 4 DAOS server nodes, 1-16
+// client nodes, comparing the OFI TCP and PSM2 fabric providers.
+//
+// PSM2 could not run dual-engine / dual-rail deployments (paper 6.1.1), so
+// both providers run single-engine servers and single-socket clients here,
+// exactly as in the paper's comparison (Section 6.4).
+//
+// Paper observations to match:
+//   * PSM2 delivers 10-25% higher bandwidth than TCP;
+//   * PSM2 reaches high bandwidth at lower client-node counts;
+//   * both providers follow the same general scaling shape.
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace nws;
+  Cli cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("clients", "1,2,4,8,16", "client node counts");
+  cli.add_flag("ppn", "4,8,12,24", "processes-per-node candidates (paper set)");
+  cli.add_flag("segments", "100", "IOR segment count (-s)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_bool("quick");
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  std::vector<std::size_t> clients;
+  for (const auto v : cli.get_int_list("clients")) clients.push_back(static_cast<std::size_t>(v));
+  std::vector<std::size_t> ppn_candidates;
+  for (const auto v : cli.get_int_list("ppn")) ppn_candidates.push_back(static_cast<std::size_t>(v));
+  if (quick) {
+    clients = {2, 8};
+    ppn_candidates = {8, 24};
+  }
+
+  Table table({"client nodes", "tcp write", "tcp read", "psm2 write", "psm2 read", "psm2/tcp write",
+               "psm2/tcp read"});
+
+  for (const std::size_t c : clients) {
+    double bw[2][2] = {{0, 0}, {0, 0}};  // [provider][write/read]
+    int p_index = 0;
+    for (const std::string provider : {"tcp", "psm2"}) {
+      const bench::BestOfPpn best = bench::best_over_ppn(
+          ppn_candidates, reps, seed + c * 29 + p_index, [&](std::size_t ppn, std::uint64_t rs) {
+            daos::ClusterConfig cfg = bench::testbed_config(4, c, provider);
+            // Both providers run the restricted deployment PSM2 permits
+            // (single engine per server, one client socket), as the paper's
+            // comparison does (Section 6.4).
+            cfg.engines_per_server = 1;
+            cfg.client_sockets_in_use = 1;
+            ior::IorParams params;
+            params.segments = static_cast<std::uint32_t>(cli.get_int("segments"));
+            params.processes_per_node = ppn;
+            return bench::run_ior_once(cfg, params, rs);
+          });
+      if (!best.summary.write.empty()) {
+        bw[p_index][0] = best.summary.write.mean();
+        bw[p_index][1] = best.summary.read.mean();
+      }
+      ++p_index;
+    }
+    table.add_row({std::to_string(c), strf("%.1f", bw[0][0]), strf("%.1f", bw[0][1]),
+                   strf("%.1f", bw[1][0]), strf("%.1f", bw[1][1]),
+                   bw[0][0] > 0 ? strf("%.2f", bw[1][0] / bw[0][0]) : "-",
+                   bw[0][1] > 0 ? strf("%.2f", bw[1][1] / bw[0][1]) : "-"});
+  }
+
+  std::cout << "paper: PSM2 10-25% above TCP with the same scaling shape\n";
+  bench::emit(table, "Fig. 7: IOR, 4 single-engine servers, TCP vs PSM2", cli);
+  return 0;
+}

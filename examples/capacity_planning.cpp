@@ -1,0 +1,63 @@
+// Capacity planning: how many DAOS/SCM server nodes replace the Lustre
+// system?
+//
+// The paper's conclusion: "a small DAOS system with SCM, in the order of a
+// few tens of nodes, could perform as well as the HPC storage currently
+// used for operations at weather centres" — the reference being a ~300-OST
+// Lustre system sustaining ~50 GiB/s of mixed application bandwidth
+// (Section 1.2).  This example sweeps server-node counts under the
+// operational workload shape (field I/O, pattern B, low contention,
+// no-containers mode — the paper's best-performing configuration) and finds
+// the smallest cluster meeting a target aggregated bandwidth.
+//
+//   $ ./examples/capacity_planning --target-gibs=50
+#include <cstdio>
+
+#include "common/cli.h"
+#include "harness/experiment.h"
+
+using namespace nws;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("target-gibs", "50", "aggregated bandwidth target (GiB/s)");
+  cli.add_flag("max-servers", "16", "largest cluster to consider");
+  cli.add_flag("ppn", "32", "processes per client node");
+  cli.add_flag("ops", "20", "field ops per process per run");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double target = cli.get_double("target-gibs");
+  const auto max_servers = static_cast<std::size_t>(cli.get_int("max-servers"));
+
+  std::printf("workload: field I/O pattern B (simultaneous write+read), no-containers mode,\n");
+  std::printf("          1 MiB fields, low contention, 2x client nodes -- target %.0f GiB/s\n\n",
+              target);
+  std::printf("%-14s %-14s %-14s %-14s\n", "server nodes", "write GiB/s", "read GiB/s", "aggregated");
+
+  std::size_t found = 0;
+  for (std::size_t servers = 1; servers <= max_servers; servers = servers < 4 ? servers + 1 : servers + 2) {
+    bench::FieldBenchParams params;
+    params.mode = fdb::Mode::no_containers;
+    params.ops_per_process = static_cast<std::uint32_t>(cli.get_int("ops"));
+    params.processes_per_node = static_cast<std::size_t>(cli.get_int("ppn"));
+    const bench::RunOutcome out =
+        bench::run_field_once(bench::testbed_config(servers, 2 * servers), params, 'B', 42 + servers);
+    if (out.failed) {
+      std::printf("%-14zu run failed: %s\n", servers, out.failure.c_str());
+      continue;
+    }
+    const double aggregated = out.write_bw + out.read_bw;
+    std::printf("%-14zu %-14.1f %-14.1f %-14.1f%s\n", servers, out.write_bw, out.read_bw, aggregated,
+                aggregated >= target && found == 0 ? "   <-- meets target" : "");
+    if (aggregated >= target && found == 0) found = servers;
+  }
+
+  if (found != 0) {
+    std::printf("\n%zu dual-socket SCM server nodes (%zu engines, %s of SCM) sustain the target --\n",
+                found, 2 * found, format_bytes(found * 2 * 1536_GiB).c_str());
+    std::printf("consistent with the paper's 'few tens of nodes' conclusion (Section 7).\n");
+  } else {
+    std::printf("\ntarget not reached within %zu server nodes\n", max_servers);
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Simulates one (scaled-down) operational NWP time-critical window.
+//
+// At the exemplar centre (paper Section 1.2), the model runs 4 times a day
+// in 1-hour time-critical windows: I/O-server processes write the forecast's
+// fields into the object store while product-generation tasks read each
+// step's output as soon as it lands.  This example reproduces that shape:
+//
+//   * `writers` I/O-server processes emit `steps x fields_per_step` fields
+//     of `field-mib` MiB each, step by step;
+//   * after a step is fully written, `readers` product-generation processes
+//     read every field of that step (the read side of access pattern B);
+//   * the run reports per-phase global-timing bandwidth and whether the
+//     window target was met.
+//
+//   $ ./examples/nwp_operational_cycle --servers=2 --clients=4 --steps=6
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "daos/client.h"
+#include "daos/cluster.h"
+#include "fdb/field_io.h"
+#include "harness/io_log.h"
+#include "sim/sync.h"
+
+using namespace nws;
+
+namespace {
+
+struct CycleState {
+  CycleState(sim::Scheduler& sched, std::size_t writers, std::uint32_t steps)
+      : step_done(steps) {
+    for (std::uint32_t s = 0; s < steps; ++s) {
+      step_done[s] = std::make_unique<sim::CountDownLatch>(sched, writers);
+    }
+  }
+  std::vector<std::unique_ptr<sim::CountDownLatch>> step_done;
+  bench::IoLog write_log;
+  bench::IoLog read_log;
+};
+
+fdb::FieldKey field_key(std::uint32_t step, std::uint32_t writer, std::uint32_t field) {
+  fdb::FieldKey key;
+  key.set("class", "od").set("stream", "oper").set("date", "20260705").set("time", "0000");
+  key.set("step", std::to_string(step));
+  key.set("param", std::to_string(100 + field));
+  key.set("level", std::to_string(writer));
+  return key;
+}
+
+sim::Task<void> io_server(daos::Cluster& cluster, CycleState& state, std::uint32_t node,
+                          std::uint32_t proc, std::uint32_t rank, std::uint32_t steps,
+                          std::uint32_t fields_per_step, Bytes field_size) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc), rank);
+  fdb::FieldIo io(client, fdb::FieldIoConfig{}, rank);
+  (co_await io.init()).expect_ok("writer init");
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    for (std::uint32_t f = 0; f < fields_per_step; ++f) {
+      const sim::TimePoint t0 = cluster.scheduler().now();
+      (co_await io.write(field_key(step, rank, f), nullptr, field_size)).expect_ok("field write");
+      state.write_log.record(node, proc, step, t0, cluster.scheduler().now(), field_size);
+    }
+    state.step_done[step]->count_down();
+  }
+}
+
+sim::Task<void> product_generator(daos::Cluster& cluster, CycleState& state, std::uint32_t node,
+                                  std::uint32_t proc, std::uint32_t paired_writer,
+                                  std::uint32_t rank, std::uint32_t steps,
+                                  std::uint32_t fields_per_step, Bytes field_size) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x9000u + rank);
+  fdb::FieldIo io(client, fdb::FieldIoConfig{}, 0x9000u + rank);
+  (co_await io.init()).expect_ok("reader init");
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    // Product generation starts as soon as the step's output is complete.
+    co_await state.step_done[step]->wait();
+    for (std::uint32_t f = 0; f < fields_per_step; ++f) {
+      const sim::TimePoint t0 = cluster.scheduler().now();
+      const auto n = co_await io.read(field_key(step, paired_writer, f), nullptr, field_size);
+      n.value();  // throws on missing field
+      state.read_log.record(node, proc, step, t0, cluster.scheduler().now(), field_size);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("servers", "2", "DAOS server nodes");
+  cli.add_flag("clients", "4", "client nodes (half write, half read)");
+  cli.add_flag("ppn", "24", "processes per client node");
+  cli.add_flag("steps", "6", "forecast steps in the window");
+  cli.add_flag("fields-per-step", "8", "fields each I/O server writes per step");
+  cli.add_flag("field-mib", "1", "field size in MiB");
+  cli.add_flag("window-minutes", "60", "time-critical window target");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::Scheduler sched;
+  daos::ClusterConfig cfg;
+  cfg.server_nodes = static_cast<std::size_t>(cli.get_int("servers"));
+  cfg.client_nodes = static_cast<std::size_t>(cli.get_int("clients"));
+  daos::Cluster cluster(sched, cfg);
+
+  const auto ppn = static_cast<std::uint32_t>(cli.get_int("ppn"));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps"));
+  const auto fields = static_cast<std::uint32_t>(cli.get_int("fields-per-step"));
+  const Bytes field_size = static_cast<Bytes>(cli.get_int("field-mib")) * 1_MiB;
+  const std::uint32_t writer_nodes = static_cast<std::uint32_t>(cfg.client_nodes) / 2;
+
+  CycleState state(sched, static_cast<std::size_t>(writer_nodes) * ppn, steps);
+  std::uint32_t rank = 0;
+  for (std::uint32_t n = 0; n < writer_nodes; ++n) {
+    for (std::uint32_t p = 0; p < ppn; ++p) {
+      sched.spawn(io_server(cluster, state, n, p, rank++, steps, fields, field_size));
+    }
+  }
+  std::uint32_t reader_rank = 0;
+  for (std::uint32_t n = writer_nodes; n < cfg.client_nodes; ++n) {
+    for (std::uint32_t p = 0; p < ppn && reader_rank < rank; ++p) {
+      sched.spawn(product_generator(cluster, state, n, p, reader_rank, reader_rank, steps, fields,
+                                    field_size));
+      ++reader_rank;
+    }
+  }
+  sched.run();
+
+  const double window = sim::to_seconds(sched.now());
+  const double target = cli.get_double("window-minutes") * 60.0;
+  std::printf("forecast window simulation\n");
+  std::printf("  servers/clients     : %zu / %zu (x%u procs)\n", cfg.server_nodes, cfg.client_nodes,
+              ppn);
+  std::printf("  fields written      : %llu (%s)\n",
+              static_cast<unsigned long long>(state.write_log.operations()),
+              format_bytes(state.write_log.total_bytes()).c_str());
+  std::printf("  fields read         : %llu (%s)\n",
+              static_cast<unsigned long long>(state.read_log.operations()),
+              format_bytes(state.read_log.total_bytes()).c_str());
+  std::printf("  write bandwidth     : %s (global timing)\n",
+              format_bandwidth(state.write_log.global_timing_bandwidth()).c_str());
+  std::printf("  read bandwidth      : %s (global timing)\n",
+              format_bandwidth(state.read_log.global_timing_bandwidth()).c_str());
+  std::printf("  window wall-clock   : %.1f s simulated (%s %.0f s target)\n", window,
+              window <= target ? "meets" : "MISSES", target);
+  std::printf("  pool used           : %s\n", format_bytes(cluster.pool_used()).c_str());
+  return 0;
+}

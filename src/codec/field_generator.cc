@@ -1,0 +1,80 @@
+#include "codec/field_generator.h"
+
+#include <cmath>
+
+namespace nws::codec {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+struct ParameterProfile {
+  double base;
+  double zonal_amplitude;   // pole-to-equator gradient
+  double wave_amplitude;    // planetary wave strength
+  double noise_amplitude;   // small-scale variability
+  bool non_negative;
+};
+
+ParameterProfile profile(Parameter p) {
+  switch (p) {
+    case Parameter::temperature: return {255.0, 40.0, 8.0, 1.5, false};
+    case Parameter::geopotential: return {49000.0, 5000.0, 800.0, 120.0, false};
+    case Parameter::wind_u: return {5.0, 25.0, 12.0, 3.0, false};
+    case Parameter::specific_humidity: return {0.006, 0.005, 0.0015, 0.0004, true};
+  }
+  return {0.0, 1.0, 0.1, 0.01, false};
+}
+}  // namespace
+
+const char* parameter_name(Parameter p) {
+  switch (p) {
+    case Parameter::temperature: return "t";
+    case Parameter::geopotential: return "z";
+    case Parameter::wind_u: return "u";
+    case Parameter::specific_humidity: return "q";
+  }
+  return "?";
+}
+
+Field generate_field(const GeneratorOptions& options) {
+  Field field;
+  field.nlat = options.nlat;
+  field.nlon = options.nlon;
+  field.values.resize(static_cast<std::size_t>(options.nlat) * options.nlon);
+
+  const ParameterProfile prof = profile(options.parameter);
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(options.parameter));
+  // Wave phases drift with forecast step so successive steps correlate.
+  const double phase1 = rng.uniform(0.0, 2.0 * kPi) + options.step_hours * 0.05;
+  const double phase2 = rng.uniform(0.0, 2.0 * kPi) + options.step_hours * 0.11;
+
+  std::size_t i = 0;
+  for (std::uint32_t la = 0; la < options.nlat; ++la) {
+    // Latitude from +90 (north) to -90.
+    const double lat = 90.0 - 180.0 * (static_cast<double>(la) + 0.5) / options.nlat;
+    const double lat_rad = lat * kPi / 180.0;
+    const double zonal = prof.base + prof.zonal_amplitude * std::cos(lat_rad) -
+                         prof.zonal_amplitude * 0.5;  // warm equator, cold poles
+    for (std::uint32_t lo = 0; lo < options.nlon; ++lo) {
+      const double lon_rad = 2.0 * kPi * static_cast<double>(lo) / options.nlon;
+      // Planetary waves 3 and 5 with latitude-dependent envelope.
+      const double wave = prof.wave_amplitude * std::cos(lat_rad) *
+                          (std::sin(3.0 * lon_rad + phase1) + 0.6 * std::sin(5.0 * lon_rad + phase2));
+      const double noise = prof.noise_amplitude * rng.normal();
+      double v = zonal + wave + noise;
+      if (prof.non_negative && v < 0.0) v = 0.0;
+      field.values[i++] = v;
+    }
+  }
+  return field;
+}
+
+void grid_for_encoded_size(Bytes target_bytes, std::uint32_t& nlat, std::uint32_t& nlon) {
+  // 16-bit packing: 2 bytes per point; keep the 1:2 lat:lon aspect.
+  const double points = static_cast<double>(target_bytes) / 2.0;
+  nlat = static_cast<std::uint32_t>(std::sqrt(points / 2.0));
+  if (nlat == 0) nlat = 1;
+  nlon = 2 * nlat;
+}
+
+}  // namespace nws::codec

@@ -1,0 +1,44 @@
+// Synthetic weather-field generation.
+//
+// The paper's workloads move real forecast output; lacking ECMWF's data, we
+// generate physically-plausible global fields: a smooth large-scale
+// structure (zonal gradient + planetary waves) with small-scale noise,
+// matched to typical parameter ranges.  Grid sizes are chosen so encoded
+// messages land in the paper's 1-5 MiB field-size range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codec/grib.h"
+#include "common/rng.h"
+
+namespace nws::codec {
+
+enum class Parameter {
+  temperature,      // K, ~190..320
+  geopotential,     // m^2/s^2
+  wind_u,           // m/s, ~-80..80
+  specific_humidity,  // kg/kg, >= 0
+};
+
+const char* parameter_name(Parameter p);
+
+struct GeneratorOptions {
+  Parameter parameter = Parameter::temperature;
+  std::uint32_t nlat = 640;
+  std::uint32_t nlon = 1280;  // ~O1280-ish octahedral-grid scale, reduced
+  std::uint64_t seed = 1;
+  /// Forecast step in hours; advances the wave phases so consecutive steps
+  /// differ but stay correlated.
+  double step_hours = 0.0;
+};
+
+/// Generates a synthetic global field.
+Field generate_field(const GeneratorOptions& options);
+
+/// A grid whose encoded size (16-bit packing) is approximately
+/// `target_bytes` — used to build workloads of 1-5 MiB fields.
+void grid_for_encoded_size(Bytes target_bytes, std::uint32_t& nlat, std::uint32_t& nlon);
+
+}  // namespace nws::codec

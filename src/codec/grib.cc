@@ -1,0 +1,184 @@
+#include "codec/grib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace nws::codec {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'W', 'S', 'G'};
+constexpr char kTrailer[4] = {'7', '7', '7', '7'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 4 + 4 + 4 + 8;
+
+template <typename T>
+void put_scalar(std::vector<std::uint8_t>& out, T v) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T get_scalar(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Appends `bits` low-order bits of `value` to the big-endian bit stream.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put(std::uint64_t value, unsigned bits) {
+    for (unsigned i = bits; i-- > 0;) {
+      const bool bit = (value >> i) & 1u;
+      if (fill_ == 0) {
+        out_.push_back(0);
+        fill_ = 8;
+      }
+      --fill_;
+      if (bit) out_.back() |= static_cast<std::uint8_t>(1u << fill_);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  unsigned fill_ = 0;  // unused bits remaining in the last byte
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  [[nodiscard]] bool get(std::uint64_t& value, unsigned bits) {
+    value = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      const std::size_t byte = pos_ >> 3;
+      if (byte >= len_) return false;
+      const unsigned offset = 7u - (pos_ & 7u);
+      value = (value << 1) | ((data_[byte] >> offset) & 1u);
+      ++pos_;
+    }
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes encoded_size(std::uint32_t nlat, std::uint32_t nlon, const EncodeOptions& options) {
+  const std::uint64_t payload_bits =
+      static_cast<std::uint64_t>(nlat) * nlon * options.bits_per_value;
+  return kHeaderSize + (payload_bits + 7) / 8 + 4;
+}
+
+double quantisation_error_bound(const Field& field, const EncodeOptions& options) {
+  if (field.values.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(field.values.begin(), field.values.end());
+  const double range = *hi - *lo;
+  if (range <= 0.0) return 0.0;
+  const double max_packed = std::pow(2.0, options.bits_per_value) - 1.0;
+  const int scale = static_cast<int>(std::ceil(std::log2(range / max_packed)));
+  return std::pow(2.0, scale) / 2.0;
+}
+
+Result<std::vector<std::uint8_t>> encode(const Field& field, const EncodeOptions& options) {
+  if (field.nlat == 0 || field.nlon == 0) {
+    return Status::error(Errc::invalid, "empty grid");
+  }
+  if (field.values.size() != static_cast<std::size_t>(field.nlat) * field.nlon) {
+    return Status::error(Errc::invalid, "value count does not match grid dimensions");
+  }
+  if (options.bits_per_value == 0 || options.bits_per_value > 32) {
+    return Status::error(Errc::invalid, "bits_per_value must be in [1, 32]");
+  }
+  for (const double v : field.values) {
+    if (!std::isfinite(v)) return Status::error(Errc::invalid, "non-finite grid point value");
+  }
+
+  const auto [lo, hi] = std::minmax_element(field.values.begin(), field.values.end());
+  const double reference = *lo;
+  const double range = *hi - *lo;
+  const double max_packed = std::pow(2.0, options.bits_per_value) - 1.0;
+  // Smallest binary scale whose quantisation grid covers the range.
+  int scale = 0;
+  if (range > 0.0) scale = static_cast<int>(std::ceil(std::log2(range / max_packed)));
+  const double step = std::pow(2.0, scale);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(encoded_size(field.nlat, field.nlon, options)));
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_scalar<std::uint16_t>(out, kVersion);
+  put_scalar<std::uint16_t>(out, static_cast<std::uint16_t>(options.bits_per_value));
+  put_scalar<std::uint32_t>(out, field.nlat);
+  put_scalar<std::uint32_t>(out, field.nlon);
+  put_scalar<std::int32_t>(out, scale);
+  put_scalar<double>(out, reference);
+
+  BitWriter writer(out);
+  for (const double v : field.values) {
+    double packed = range > 0.0 ? std::round((v - reference) / step) : 0.0;
+    packed = std::clamp(packed, 0.0, max_packed);
+    writer.put(static_cast<std::uint64_t>(packed), options.bits_per_value);
+  }
+  out.insert(out.end(), kTrailer, kTrailer + 4);
+  return out;
+}
+
+Result<Field> decode(const std::uint8_t* data, std::size_t len) {
+  if (data == nullptr || len < kHeaderSize + 4) {
+    return Status::error(Errc::invalid, "message too short");
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) return Status::error(Errc::invalid, "bad magic");
+  std::size_t off = 4;
+  const auto version = get_scalar<std::uint16_t>(data + off);
+  off += 2;
+  if (version != kVersion) {
+    return Status::error(Errc::unsupported, "unknown codec version " + std::to_string(version));
+  }
+  const auto bits = get_scalar<std::uint16_t>(data + off);
+  off += 2;
+  const auto nlat = get_scalar<std::uint32_t>(data + off);
+  off += 4;
+  const auto nlon = get_scalar<std::uint32_t>(data + off);
+  off += 4;
+  const auto scale = get_scalar<std::int32_t>(data + off);
+  off += 4;
+  const auto reference = get_scalar<double>(data + off);
+  off += 8;
+  if (bits == 0 || bits > 32 || nlat == 0 || nlon == 0) {
+    return Status::error(Errc::invalid, "corrupt header");
+  }
+
+  EncodeOptions options;
+  options.bits_per_value = bits;
+  if (len != encoded_size(nlat, nlon, options)) {
+    return Status::error(Errc::invalid, "message length does not match grid");
+  }
+  if (std::memcmp(data + len - 4, kTrailer, 4) != 0) {
+    return Status::error(Errc::invalid, "missing 7777 trailer");
+  }
+
+  Field field;
+  field.nlat = nlat;
+  field.nlon = nlon;
+  field.values.resize(static_cast<std::size_t>(nlat) * nlon);
+  const double step = std::pow(2.0, scale);
+  BitReader reader(data + off, len - off - 4);
+  for (double& v : field.values) {
+    std::uint64_t packed = 0;
+    if (!reader.get(packed, bits)) return Status::error(Errc::invalid, "truncated payload");
+    v = reference + static_cast<double>(packed) * step;
+  }
+  return field;
+}
+
+}  // namespace nws::codec

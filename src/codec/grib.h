@@ -1,0 +1,62 @@
+// GRIB-style weather-field encoding.
+//
+// Weather fields are "2-dimensional slices covering the whole Earth surface
+// for a given weather variable at a given time", 1-5 MiB each after
+// encoding (paper Section 1.2), and the I/O servers perform "data encoding"
+// before forwarding to storage.  This is a compact clean-room codec in the
+// spirit of GRIB2 simple packing (WMO template 5.0):
+//
+//   value = reference + packed * 2^binary_scale
+//
+// with a fixed bit width per point, a binary scale chosen so the field's
+// dynamic range fits that width, and the packed integers bit-packed
+// big-endian.  Encoding is lossy with a quantisation error bounded by
+// 2^(binary_scale-1); round-trips are exact when the width covers the range.
+//
+// Message layout (little-endian scalars):
+//   "NWSG" | u16 version | u16 bits_per_value | u32 nlat | u32 nlon
+//   | i32 binary_scale | f64 reference | payload bits | "7777"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace nws::codec {
+
+/// A decoded 2-D field: row-major nlat x nlon grid point values.
+struct Field {
+  std::uint32_t nlat = 0;
+  std::uint32_t nlon = 0;
+  std::vector<double> values;  // nlat * nlon
+
+  [[nodiscard]] std::size_t points() const { return values.size(); }
+  [[nodiscard]] double at(std::uint32_t lat, std::uint32_t lon) const {
+    return values.at(static_cast<std::size_t>(lat) * nlon + lon);
+  }
+};
+
+struct EncodeOptions {
+  /// Bits per packed value (GRIB commonly uses 8-24).
+  unsigned bits_per_value = 16;
+};
+
+/// Encodes a field; returns the GRIB-like message bytes.
+Result<std::vector<std::uint8_t>> encode(const Field& field, const EncodeOptions& options = {});
+
+/// Decodes a message produced by encode().  Validates magic, version and
+/// trailer, and that the payload length matches the grid.
+Result<Field> decode(const std::uint8_t* data, std::size_t len);
+inline Result<Field> decode(const std::vector<std::uint8_t>& msg) { return decode(msg.data(), msg.size()); }
+
+/// Worst-case absolute quantisation error of an encoding of `field` with
+/// `options` (half a quantisation step).
+double quantisation_error_bound(const Field& field, const EncodeOptions& options = {});
+
+/// Size in bytes of the encoded message for a given grid and options.
+Bytes encoded_size(std::uint32_t nlat, std::uint32_t nlon, const EncodeOptions& options = {});
+
+}  // namespace nws::codec

@@ -1,0 +1,103 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nws {
+
+void Cli::add_flag(const std::string& name, const std::string& default_value, const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+const Cli::Flag& Cli::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("unregistered flag: --" + name);
+  return it->second;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) throw std::invalid_argument("unexpected argument: " + arg);
+    arg = arg.substr(2);
+
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (arg.rfind("no-", 0) == 0 && flags_.count(arg.substr(3)) != 0) {
+      name = arg.substr(3);
+      value = "false";
+    } else {
+      name = arg;
+      const auto it = flags_.find(name);
+      if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + name);
+      // Boolean flags may appear bare; value flags take the next argument.
+      if (it->second.default_value == "true" || it->second.default_value == "false") {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value for flag: --" + name);
+        value = argv[++i];
+      }
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const { return find(name).value; }
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  if (pos != v.size()) throw std::invalid_argument("flag --" + name + " is not an integer: " + v);
+  return out;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) throw std::invalid_argument("flag --" + name + " is not a number: " + v);
+  return out;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const auto comma = v.find(',', start);
+    const std::string piece = v.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!piece.empty()) out.push_back(std::stoll(piece));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void Cli::print_usage(const std::string& program) const {
+  std::printf("usage: %s [flags]\n\nflags:\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-28s %s (default: %s)\n", name.c_str(), flag.help.c_str(),
+                flag.default_value.empty() ? "\"\"" : flag.default_value.c_str());
+  }
+}
+
+}  // namespace nws

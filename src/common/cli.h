@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unrecognised flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nws {
+
+class Cli {
+ public:
+  /// Registers a flag with a default and a help string.  Must be called for
+  /// every flag before parse().
+  void add_flag(const std::string& name, const std::string& default_value, const std::string& help);
+
+  /// Parses argv; on --help prints usage and returns false.  Throws
+  /// std::invalid_argument on unknown flags or missing values.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. "1,2,4,8".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+
+  const Flag& find(const std::string& name) const;
+};
+
+}  // namespace nws

@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nws {
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("NWS_LOG")) return parse_log_level(env);
+  return LogLevel::warn;
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "debug") return LogLevel::debug;
+  if (s == "info") return LogLevel::info;
+  if (s == "warn") return LogLevel::warn;
+  if (s == "error") return LogLevel::error;
+  if (s == "off") return LogLevel::off;
+  return LogLevel::warn;
+}
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace nws

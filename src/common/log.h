@@ -1,0 +1,46 @@
+// Leveled logging to stderr.
+//
+// Default level is warn so bench output stays clean; set NWS_LOG=debug|info
+// or call set_log_level() to see simulator internals.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nws {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug", "info", "warn", "error", "off"; returns warn on unknown.
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define NWS_LOG(level)                                \
+  if (::nws::log_level() > ::nws::LogLevel::level) {} \
+  else ::nws::detail::LogLine(::nws::LogLevel::level)
+
+}  // namespace nws

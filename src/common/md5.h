@@ -1,0 +1,60 @@
+// Clean-room MD5 (RFC 1321).
+//
+// The paper's field-write function derives DAOS container IDs as "md5 sums of
+// the most-significant part of the key so that any concurrent processes
+// attempting creation of the same pair of containers will avoid creation of
+// inaccessible containers" (Section 4).  The same convention maps field
+// identifiers to Array object IDs in the benchmark's "no index" mode.
+//
+// MD5 is used here purely as a stable 128-bit name-derivation function, never
+// for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nws {
+
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// Lowercase hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+  [[nodiscard]] std::string hex() const;
+
+  /// The digest as two 64-bit halves (big-endian over the byte order), handy
+  /// for deriving 128-bit object / container identifiers.
+  [[nodiscard]] std::uint64_t hi64() const;
+  [[nodiscard]] std::uint64_t lo64() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+};
+
+/// Incremental MD5 context.
+class Md5 {
+ public:
+  Md5();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalises and returns the digest.  The context must not be reused
+  /// afterwards without calling reset().
+  Md5Digest finish();
+
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot digest of a string.
+Md5Digest md5(std::string_view s);
+
+}  // namespace nws

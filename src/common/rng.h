@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (service-time jitter, placement
+// hashing, start-up skew) draws from an explicitly seeded Rng so that runs
+// are bit-reproducible.  Benchmarks derive per-repetition seeds from a base
+// seed, mirroring the paper's repeated-run methodology.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nws {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.  Also used as the
+/// seed-scrambling function so that correlated seeds (0, 1, 2, ...) produce
+/// uncorrelated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Standard normal via Box-Muller (one value per call; simple and stateless).
+  double normal() {
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal multiplier with unit median and log-space sigma.  Used for
+  /// service-time jitter: returns exp(sigma * N(0,1)).
+  double lognormal_jitter(double sigma) { return std::exp(sigma * normal()); }
+
+  /// Derive an independent child stream (e.g. one per simulated process).
+  Rng fork(std::uint64_t salt) {
+    Rng child(next_u64() ^ (salt * 0xda942042e4dd58b5ull + 0x2545f4914f6cdd1dull));
+    return child;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix usable as a hash finaliser (placement, dkey hashing).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdull;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ull;
+  return z ^ (z >> 33);
+}
+
+}  // namespace nws

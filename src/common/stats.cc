@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nws {
+
+Summary::Summary(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+void Summary::add(double v) {
+  samples_.push_back(v);
+  sorted_valid_ = false;
+}
+
+const std::vector<double>& Summary::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double Summary::min() const {
+  if (empty()) throw std::logic_error("Summary::min on empty sample set");
+  return sorted().front();
+}
+
+double Summary::max() const {
+  if (empty()) throw std::logic_error("Summary::max on empty sample set");
+  return sorted().back();
+}
+
+double Summary::sum() const { return std::accumulate(samples_.begin(), samples_.end(), 0.0); }
+
+double Summary::mean() const {
+  if (empty()) throw std::logic_error("Summary::mean on empty sample set");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  if (empty()) throw std::logic_error("Summary::percentile on empty sample set");
+  if (p <= 0.0) return sorted().front();
+  if (p >= 100.0) return sorted().back();
+  const auto& s = sorted();
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+}  // namespace nws

@@ -1,0 +1,42 @@
+// Summary statistics over benchmark repetitions.
+//
+// The paper reports per-configuration maxima (Table 1: "the maximum
+// synchronous bandwidth obtained among the 36 repetitions") and means
+// (Fig. 3: "the mean synchronous bandwidth obtained across all repetitions").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nws {
+
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> samples);
+
+  void add(double v);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+
+  const std::vector<double>& sorted() const;
+};
+
+}  // namespace nws

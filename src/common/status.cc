@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+namespace nws {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::no_space: return "no_space";
+    case Errc::io_error: return "io_error";
+    case Errc::unavailable: return "unavailable";
+    case Errc::invalid: return "invalid";
+    case Errc::unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string s = errc_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+void Status::expect_ok(const char* context) const {
+  if (is_ok()) return;
+  std::string what = "unexpected error";
+  if (context != nullptr && *context != '\0') {
+    what += " in ";
+    what += context;
+  }
+  what += ": " + to_string();
+  throw std::runtime_error(what);
+}
+
+}  // namespace nws

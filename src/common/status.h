@@ -1,0 +1,92 @@
+// Lightweight status / result types for expected, recoverable errors.
+//
+// The object-store API reports conditions like "key not found" as values
+// rather than exceptions, mirroring the errno-style returns of the DAOS C
+// API the paper's field I/O functions are written against.  Programming
+// errors (contract violations) still throw.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nws {
+
+enum class Errc {
+  ok = 0,
+  not_found,       // DER_NONEXIST: key / object / container absent
+  already_exists,  // DER_EXIST: creation of an existing entity
+  no_space,        // DER_NOSPACE: SCM pool exhausted
+  io_error,        // generic I/O failure (fault injection)
+  unavailable,     // service unreachable (fault injection / bug emulation)
+  invalid,         // invalid argument combination
+  unsupported,     // configuration rejected (e.g. PSM2 dual-rail)
+};
+
+/// Short stable identifier for an error code, e.g. "not_found".
+const char* errc_name(Errc e);
+
+class Status {
+ public:
+  Status() = default;
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status error(Errc code, std::string message) { return {code, std::move(message)}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Errc::ok; }
+  [[nodiscard]] Errc code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Human-readable "code: message" string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throws std::runtime_error if not ok.  Use at call sites where failure
+  /// indicates a bug rather than an expected condition.
+  void expect_ok(const char* context = "") const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+/// A value or a Status describing why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    if (status_.is_ok()) throw std::logic_error("Result constructed from ok Status without value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    check();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    check();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const { return value_.has_value() ? *value_ : std::move(fallback); }
+
+ private:
+  void check() const {
+    if (!value_) throw std::runtime_error("Result::value() on error: " + status_.to_string());
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace nws

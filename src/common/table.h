@@ -1,0 +1,42 @@
+// Console table and CSV reporting for benchmark output.
+//
+// Each bench binary prints the rows/series of the paper table or figure it
+// regenerates, as an aligned console table, and can additionally emit CSV for
+// plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nws {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row.  Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Renders an aligned, boxed console table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote/newline quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; throws on failure.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building cells.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace nws

@@ -1,0 +1,352 @@
+#include "daos/client.h"
+
+#include <algorithm>
+
+#include "sim/when_all.h"
+
+namespace nws::daos {
+
+Client::Client(Cluster& cluster, net::Endpoint endpoint, std::uint64_t salt)
+    : cluster_(cluster), endpoint_(endpoint), rng_(cluster.fork_rng(salt)) {}
+
+sim::Task<void> Client::rpc(std::size_t target_index, sim::Duration overhead) {
+  const Target& t = cluster_.target(target_index);
+  const sim::Duration rtt = 2 * cluster_.topology().latency(endpoint_, net::Endpoint{t.node, t.socket});
+  const auto cost = static_cast<sim::Duration>(static_cast<double>(overhead) * jitter());
+  co_await cluster_.scheduler().delay(rtt + cost);
+}
+
+sim::Task<PoolHandle> Client::pool_connect() {
+  // Pool metadata lives with target 0's engine.
+  co_await rpc(0, cluster_.model().pool_connect_overhead);
+  co_return PoolHandle{true};
+}
+
+sim::Task<Status> Client::cont_create(const Uuid& uuid) {
+  co_await rpc(0, cluster_.model().cont_create_overhead);
+  co_return cluster_.create_container(uuid);
+}
+
+sim::Task<Result<ContHandle>> Client::cont_open(const Uuid& uuid) {
+  co_await rpc(0, cluster_.model().cont_open_overhead);
+  auto result = cluster_.open_container(uuid);
+  if (!result.is_ok()) co_return result.status();
+  co_return ContHandle{result.value()};
+}
+
+sim::Task<void> Client::cont_close(ContHandle& handle) {
+  handle.container = nullptr;
+  co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
+}
+
+sim::Task<ContHandle> Client::main_cont_open() {
+  co_await rpc(0, cluster_.model().cont_open_overhead);
+  co_return ContHandle{&cluster_.main_container()};
+}
+
+sim::Task<KvHandle> Client::kv_open(ContHandle cont, const ObjectId& oid) {
+  if (!cont.valid()) throw std::logic_error("kv_open on closed container handle");
+  // Object open is a client-local handle operation in DAOS.
+  co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
+  co_return KvHandle{cont.container, oid, &cont.container->kv(oid)};
+}
+
+sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::string value) {
+  if (!handle.valid()) throw std::logic_error("kv_put on closed handle");
+  const ModelConfig& m = cluster_.model();
+  const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
+  co_await rpc(shard, m.kv_op_overhead);
+  if (cluster_.inject_io_failure()) co_return Status::error(Errc::io_error, "injected KV put failure");
+
+  // Shard service: metadata work competes with array I/O for the engine and
+  // target.  Conditional updates contending on the same object abort and
+  // retry, multiplying the server-side work — the cost scales with how many
+  // updaters are in flight on the object.
+  handle.kv->writer_enter();
+  const std::size_t contenders = handle.kv->active_writers() - 1;
+  Bytes retry = m.kv_contention_retry_bytes *
+                static_cast<Bytes>(std::min(contenders, m.kv_contention_retry_cap));
+  const sim::TimePoint now_put = cluster_.scheduler().now();
+  const bool recently_read = handle.kv->last_read() >= 0 &&
+                             now_put - handle.kv->last_read() < m.kv_hot_entry_window;
+  if (handle.kv->active_readers() > 0 || recently_read) retry += m.kv_cross_contention_bytes;
+  co_await cluster_.flows().transfer(cluster_.service_path(shard, /*is_write=*/true),
+                                     m.kv_put_service_bytes + retry);
+
+  // Serialised transaction-ordering section on the object.
+  co_await handle.kv->object_lock().lock();
+  co_await cluster_.scheduler().delay(
+      static_cast<sim::Duration>(static_cast<double>(m.kv_put_serial) * jitter()));
+  handle.kv->put(key, std::move(value));
+  handle.kv->note_update(cluster_.scheduler().now());
+  handle.kv->object_lock().unlock();
+  handle.kv->writer_exit();
+
+  ++stats_.kv_puts;
+  co_return Status::ok();
+}
+
+sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::string& key) {
+  if (!handle.valid()) throw std::logic_error("kv_get on closed handle");
+  const ModelConfig& m = cluster_.model();
+  const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
+  co_await rpc(shard, m.kv_op_overhead);
+  if (cluster_.inject_io_failure()) {
+    co_return Status::error(Errc::io_error, "injected KV get failure");
+  }
+
+  handle.kv->reader_enter();
+  const std::size_t concurrent = handle.kv->active_readers() - 1;
+  Bytes extra = m.kv_read_concurrency_bytes *
+                static_cast<Bytes>(std::min(concurrent, m.kv_read_concurrency_cap));
+  const sim::TimePoint now_get = cluster_.scheduler().now();
+  const bool hot_entry = handle.kv->last_update() >= 0 &&
+                         now_get - handle.kv->last_update() < m.kv_hot_entry_window;
+  if (handle.kv->active_writers() > 0 || hot_entry) extra += m.kv_cross_contention_bytes;
+  co_await cluster_.flows().transfer(cluster_.service_path(shard, /*is_write=*/false),
+                                     m.kv_get_service_bytes + extra);
+  // Bounded fetch-servicing slots: a single hot object sustains only
+  // kv_get_concurrency simultaneous fetch validations.
+  co_await handle.kv->get_slots().acquire();
+  co_await cluster_.scheduler().delay(
+      static_cast<sim::Duration>(static_cast<double>(m.kv_get_serial) * jitter()));
+  handle.kv->get_slots().release();
+  handle.kv->note_read(cluster_.scheduler().now());
+  handle.kv->reader_exit();
+
+  ++stats_.kv_gets;
+  co_return handle.kv->get(key);
+}
+
+sim::Task<Status> Client::kv_remove(KvHandle& handle, const std::string& key) {
+  if (!handle.valid()) throw std::logic_error("kv_remove on closed handle");
+  const ModelConfig& m = cluster_.model();
+  const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
+  co_await rpc(shard, m.kv_op_overhead);
+  co_await handle.kv->object_lock().lock();
+  co_await cluster_.scheduler().delay(m.kv_put_serial);
+  const Status st = handle.kv->remove(key);
+  handle.kv->object_lock().unlock();
+  co_return st;
+}
+
+sim::Task<std::vector<std::string>> Client::kv_list(KvHandle& handle) {
+  if (!handle.valid()) throw std::logic_error("kv_list on closed handle");
+  const ModelConfig& m = cluster_.model();
+  // Enumeration walks every shard; cost scales with entry count.
+  const auto keys = handle.kv->list();
+  const auto per_key = sim::microseconds(2.0);
+  co_await rpc(cluster_.shard_for_key(handle.oid, ""), m.kv_op_overhead);
+  co_await cluster_.scheduler().delay(static_cast<sim::Duration>(keys.size()) * per_key);
+  co_return keys;
+}
+
+sim::Task<void> Client::kv_close(KvHandle& handle) {
+  handle.kv = nullptr;
+  co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
+}
+
+sim::Task<Result<ArrayHandle>> Client::array_create(ContHandle cont, const ObjectId& oid, Bytes cell_size,
+                                                    Bytes chunk_size) {
+  if (!cont.valid()) throw std::logic_error("array_create on closed container handle");
+  const ModelConfig& m = cluster_.model();
+  const std::size_t lead = cluster_.placement(oid)[0];
+  co_await rpc(lead, m.array_create_overhead);
+  co_await container_indirection(cont.container, lead, /*is_write=*/true);
+  auto created = cont.container->create_array(oid, cell_size, chunk_size, cluster_.config().payload_mode);
+  if (!created.is_ok()) co_return created.status();
+  co_return ArrayHandle{cont.container, oid, created.value(), lead};
+}
+
+sim::Task<Result<ArrayHandle>> Client::array_open(ContHandle cont, const ObjectId& oid) {
+  if (!cont.valid()) throw std::logic_error("array_open on closed container handle");
+  const ModelConfig& m = cluster_.model();
+  const std::size_t lead = cluster_.placement(oid)[0];
+  co_await rpc(lead, m.array_open_overhead);
+  auto opened = cont.container->open_array(oid);
+  if (!opened.is_ok()) co_return opened.status();
+  co_return ArrayHandle{cont.container, oid, opened.value(), lead};
+}
+
+std::vector<std::pair<std::size_t, Bytes>> Client::shard_extents(const ObjectId& oid, Bytes offset,
+                                                                 Bytes len) const {
+  const ModelConfig& m = cluster_.model();
+  const auto stripe = cluster_.placement(oid);
+  const Bytes chunk = m.array_chunk_size;
+
+  // Per-stripe-member byte counts: chunks round-robin across the stripe.
+  std::vector<Bytes> per_member(stripe.size(), 0);
+  Bytes pos = offset;
+  Bytes remaining = len;
+  while (remaining > 0) {
+    const Bytes chunk_index = pos / chunk;
+    const Bytes within = pos % chunk;
+    const Bytes take = std::min(remaining, chunk - within);
+    per_member[static_cast<std::size_t>(chunk_index % stripe.size())] += take;
+    pos += take;
+    remaining -= take;
+  }
+
+  std::vector<std::pair<std::size_t, Bytes>> extents;
+  for (std::size_t i = 0; i < stripe.size(); ++i) {
+    if (per_member[i] > 0) extents.emplace_back(stripe[i], per_member[i]);
+  }
+
+  // Coalesce to at most max_shard_flows flow groups (keeps OC_SX tractable):
+  // merge round-robin so every group keeps a distinct representative target.
+  if (extents.size() > m.max_shard_flows && m.max_shard_flows > 0) {
+    std::vector<std::pair<std::size_t, Bytes>> grouped(m.max_shard_flows, {0, 0});
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      auto& g = grouped[i % m.max_shard_flows];
+      if (g.second == 0) g.first = extents[i].first;
+      g.second += extents[i].second;
+    }
+    extents = std::move(grouped);
+  }
+  return extents;
+}
+
+sim::Task<void> Client::run_data_flows(const std::vector<std::pair<std::size_t, Bytes>>& extents,
+                                       bool is_write) {
+  const net::ProviderProfile& provider = cluster_.config().provider;
+  const ModelConfig& m = cluster_.model();
+  std::vector<sim::Task<void>> flows;
+  flows.reserve(extents.size());
+  for (const auto& [target_index, bytes] : extents) {
+    const Target& t = cluster_.target(target_index);
+    auto path = is_write ? cluster_.write_path(endpoint_, t) : cluster_.read_path(endpoint_, t);
+    double cap = provider.stream_rate_cap(bytes) * jitter();
+    // Very large values churn target buffers (Fig. 6 plateau past 10 MiB).
+    if (bytes > m.target_large_object_threshold) {
+      const double doublings =
+          std::log2(static_cast<double>(bytes) / static_cast<double>(m.target_large_object_threshold));
+      cap /= 1.0 + m.target_large_object_penalty * doublings;
+    }
+    auto one = [](Cluster& cluster, std::vector<net::LinkId> p, Bytes b, double c) -> sim::Task<void> {
+      co_await cluster.flows().transfer(std::move(p), b, c);
+    }(cluster_, std::move(path), bytes, cap);
+    flows.push_back(std::move(one));
+  }
+  if (flows.size() == 1) {
+    co_await std::move(flows.front());
+  } else {
+    co_await sim::when_all(cluster_.scheduler(), std::move(flows));
+  }
+}
+
+sim::Task<void> Client::container_indirection(Container* container, std::size_t target_index,
+                                              bool is_write) {
+  if (container->is_main()) co_return;
+  const ModelConfig& m = cluster_.model();
+  co_await cluster_.scheduler().delay(
+      static_cast<sim::Duration>(static_cast<double>(m.container_indirection_latency) * jitter()));
+  Bytes service = m.container_indirection_bytes;
+  // Mixed-load half of the container penalty (model_config.h).
+  if (container->mixed_array_load(cluster_.scheduler().now(), m.kv_hot_entry_window)) {
+    service += m.container_mixed_load_bytes;
+  }
+  co_await cluster_.flows().transfer(cluster_.container_service_path(target_index, is_write), service);
+}
+
+sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const std::uint8_t* data,
+                                      Bytes len) {
+  if (!handle.valid()) throw std::logic_error("array_write on closed handle");
+  if (len == 0) co_return Status::ok();
+  const ModelConfig& m = cluster_.model();
+  const auto extents = shard_extents(handle.oid, offset, len);
+
+  const auto fanout =
+      static_cast<sim::Duration>(extents.size() > 1 ? (extents.size() - 1) * m.stripe_fanout_overhead : 0);
+  co_await rpc(handle.lead_target, m.array_io_overhead + fanout);
+  if (cluster_.inject_io_failure()) co_return Status::error(Errc::io_error, "injected array write failure");
+  co_await container_indirection(handle.container, handle.lead_target, /*is_write=*/true);
+
+  // Pool space for newly written extent growth (never reclaimed: the field
+  // functions de-reference but do not delete, Section 4).
+  const Bytes new_end = offset + len;
+  if (new_end > handle.array->size()) {
+    auto charged = cluster_.charge_capacity(handle.lead_target, new_end - handle.array->size());
+    if (!charged.is_ok()) co_return charged.status();
+    handle.array->note_allocation(charged.value().first, charged.value().second);
+  }
+
+  handle.container->array_io_enter(/*is_write=*/true);
+  if (m.array_conflict_serialization) {
+    co_await handle.array->object_lock().lock();
+    co_await run_data_flows(extents, /*is_write=*/true);
+    handle.array->write(offset, data, len);
+    handle.array->object_lock().unlock();
+  } else {
+    co_await run_data_flows(extents, /*is_write=*/true);
+    handle.array->write(offset, data, len);
+  }
+  handle.container->array_io_exit(/*is_write=*/true, cluster_.scheduler().now());
+
+  ++stats_.array_writes;
+  stats_.bytes_written += len;
+  co_return Status::ok();
+}
+
+sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, std::uint8_t* out,
+                                            Bytes len) {
+  if (!handle.valid()) throw std::logic_error("array_read on closed handle");
+  if (len == 0) co_return Bytes{0};
+  const ModelConfig& m = cluster_.model();
+
+  // Only the bytes that exist are transferred.
+  const Bytes available = handle.array->size() > offset ? handle.array->size() - offset : 0;
+  const Bytes to_read = std::min(len, available);
+  if (to_read == 0) co_return Bytes{0};
+  const auto extents = shard_extents(handle.oid, offset, to_read);
+
+  const auto fanout =
+      static_cast<sim::Duration>(extents.size() > 1 ? (extents.size() - 1) * m.stripe_fanout_overhead : 0);
+  co_await rpc(handle.lead_target, m.array_io_overhead + fanout);
+  if (cluster_.inject_io_failure()) {
+    co_return Status::error(Errc::io_error, "injected array read failure");
+  }
+  co_await container_indirection(handle.container, handle.lead_target, /*is_write=*/false);
+
+  Bytes n = 0;
+  handle.container->array_io_enter(/*is_write=*/false);
+  if (m.array_conflict_serialization) {
+    co_await handle.array->object_lock().lock();
+    co_await run_data_flows(extents, /*is_write=*/false);
+    n = handle.array->read(offset, out, to_read);
+    handle.array->object_lock().unlock();
+  } else {
+    co_await run_data_flows(extents, /*is_write=*/false);
+    n = handle.array->read(offset, out, to_read);
+  }
+  handle.container->array_io_exit(/*is_write=*/false, cluster_.scheduler().now());
+
+  ++stats_.array_reads;
+  stats_.bytes_read += n;
+  co_return n;
+}
+
+sim::Task<Status> Client::array_destroy(ContHandle cont, const ObjectId& oid) {
+  if (!cont.valid()) throw std::logic_error("array_destroy on closed container handle");
+  const ModelConfig& m = cluster_.model();
+  const std::size_t lead = cluster_.placement(oid)[0];
+  co_await rpc(lead, m.array_create_overhead);  // punch is create-priced
+  auto destroyed = cont.container->destroy_array(oid);
+  if (!destroyed.is_ok()) co_return destroyed.status();
+  for (const auto& [region, allocation] : destroyed.value()->allocations()) {
+    cluster_.release_capacity(region, allocation);
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Bytes> Client::array_get_size(ArrayHandle& handle) {
+  if (!handle.valid()) throw std::logic_error("array_get_size on closed handle");
+  co_await rpc(handle.lead_target, cluster_.model().array_open_overhead);
+  co_return handle.array->size();
+}
+
+sim::Task<void> Client::array_close(ArrayHandle& handle) {
+  handle.array = nullptr;
+  co_await cluster_.scheduler().delay(cluster_.model().array_close_overhead);
+}
+
+}  // namespace nws::daos

@@ -1,0 +1,124 @@
+// DAOS client API for simulated processes.
+//
+// Mirrors the subset of the DAOS C API the paper's field I/O functions use:
+// pool connect, container create/open, Key-Value put/get/remove/list, and
+// Array create/open/write/read — each returning a coroutine that consumes
+// simulated time according to the model (RPC latencies, per-target service
+// via network flows, KV transaction serialisation, striping fan-out).
+//
+// One Client per simulated process; the endpoint identifies the client node
+// and the socket the process is pinned to.  Handles are lightweight values;
+// closing them costs the (small) local handle teardown time, mirroring how
+// the paper's benchmark caches pool and container connections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "daos/cluster.h"
+#include "sim/task.h"
+
+namespace nws::daos {
+
+struct PoolHandle {
+  bool connected = false;
+};
+
+struct ContHandle {
+  Container* container = nullptr;
+  [[nodiscard]] bool valid() const { return container != nullptr; }
+};
+
+struct KvHandle {
+  Container* container = nullptr;
+  ObjectId oid;
+  KvObject* kv = nullptr;
+  [[nodiscard]] bool valid() const { return kv != nullptr; }
+};
+
+struct ArrayHandle {
+  Container* container = nullptr;
+  ObjectId oid;
+  ArrayObject* array = nullptr;
+  std::size_t lead_target = 0;
+  [[nodiscard]] bool valid() const { return array != nullptr; }
+};
+
+/// Per-client operation counters.
+struct ClientStats {
+  std::uint64_t kv_puts = 0;
+  std::uint64_t kv_gets = 0;
+  std::uint64_t array_writes = 0;
+  std::uint64_t array_reads = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+};
+
+class Client {
+ public:
+  /// `salt` individualises the jitter stream (use the global process rank).
+  Client(Cluster& cluster, net::Endpoint endpoint, std::uint64_t salt);
+
+  [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+  // --- pool / container -------------------------------------------------------
+  sim::Task<PoolHandle> pool_connect();
+  sim::Task<Status> cont_create(const Uuid& uuid);
+  sim::Task<Result<ContHandle>> cont_open(const Uuid& uuid);
+  sim::Task<void> cont_close(ContHandle& handle);
+
+  /// Opens the pool's main container (always exists).
+  sim::Task<ContHandle> main_cont_open();
+
+  // --- Key-Value objects --------------------------------------------------------
+  /// Opens (materialising on first use) the KV object `oid` in `cont`.
+  sim::Task<KvHandle> kv_open(ContHandle cont, const ObjectId& oid);
+  sim::Task<Status> kv_put(KvHandle& handle, const std::string& key, std::string value);
+  sim::Task<Result<std::string>> kv_get(KvHandle& handle, const std::string& key);
+  sim::Task<Status> kv_remove(KvHandle& handle, const std::string& key);
+  sim::Task<std::vector<std::string>> kv_list(KvHandle& handle);
+  sim::Task<void> kv_close(KvHandle& handle);
+
+  // --- Array objects --------------------------------------------------------------
+  sim::Task<Result<ArrayHandle>> array_create(ContHandle cont, const ObjectId& oid, Bytes cell_size,
+                                              Bytes chunk_size);
+  sim::Task<Result<ArrayHandle>> array_open(ContHandle cont, const ObjectId& oid);
+  sim::Task<Status> array_write(ArrayHandle& handle, Bytes offset, const std::uint8_t* data, Bytes len);
+  sim::Task<Result<Bytes>> array_read(ArrayHandle& handle, Bytes offset, std::uint8_t* out, Bytes len);
+  sim::Task<Bytes> array_get_size(ArrayHandle& handle);
+  sim::Task<void> array_close(ArrayHandle& handle);
+  /// Destroys an array object (daos_array_destroy), releasing its SCM
+  /// allocations — the building block of the catalogue's purge.
+  sim::Task<Status> array_destroy(ContHandle cont, const ObjectId& oid);
+
+ private:
+  /// Round-trip RPC latency to the engine hosting `target`, plus jittered
+  /// fixed overhead.
+  sim::Task<void> rpc(std::size_t target_index, sim::Duration overhead);
+  [[nodiscard]] double jitter() { return rng_.lognormal_jitter(cluster_.model().op_jitter_sigma); }
+
+  /// Splits a [offset, offset+len) array extent into per-target byte counts
+  /// (chunks round-robin across the stripe), coalescing to at most
+  /// max_shard_flows groups.
+  [[nodiscard]] std::vector<std::pair<std::size_t, Bytes>> shard_extents(const ObjectId& oid, Bytes offset,
+                                                                         Bytes len) const;
+
+  /// Runs the per-shard data flows of one array op concurrently.
+  sim::Task<void> run_data_flows(const std::vector<std::pair<std::size_t, Bytes>>& extents, bool is_write);
+
+  /// Extra per-op cost when operating outside the main container
+  /// (model_config.h: container layer derate).
+  sim::Task<void> container_indirection(Container* container, std::size_t target_index, bool is_write);
+
+  Cluster& cluster_;
+  net::Endpoint endpoint_;
+  Rng rng_;
+  ClientStats stats_;
+};
+
+}  // namespace nws::daos

@@ -1,0 +1,276 @@
+#include "daos/cluster.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace nws::daos {
+
+Status ClusterConfig::validate() const {
+  if (server_nodes == 0) return Status::error(Errc::invalid, "at least one server node required");
+  if (client_nodes == 0) return Status::error(Errc::invalid, "at least one client node required");
+  if (engines_per_server == 0 || engines_per_server > 2) {
+    return Status::error(Errc::invalid, "engines_per_server must be 1 or 2 (one per socket)");
+  }
+  if (targets_per_engine == 0) return Status::error(Errc::invalid, "targets_per_engine must be positive");
+  if (client_sockets_in_use == 0 || client_sockets_in_use > 2) {
+    return Status::error(Errc::invalid, "client_sockets_in_use must be 1 or 2");
+  }
+  if (faults.enforce_psm2_single_rail && !provider.supports_dual_rail &&
+      (engines_per_server > 1 || client_sockets_in_use > 1)) {
+    return Status::error(Errc::unsupported,
+                         "PSM2 provider does not support dual-engine / dual-rail deployments "
+                         "(DAOS v2.0.1, paper 6.1.1): use engines_per_server=1 and "
+                         "client_sockets_in_use=1");
+  }
+  return Status::ok();
+}
+
+Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
+    : sched_(sched), config_(std::move(config)), flows_(sched), rng_(config_.seed) {
+  config_.validate().expect_ok("ClusterConfig::validate");
+  build_topology();
+  build_storage();
+
+  pool_uuid_ = Uuid::from_string_md5("nws:pool");
+  const Uuid main_uuid = Uuid::from_string_md5("nws:main-container");
+  auto main = std::make_unique<Container>(sched_, main_uuid, /*is_main=*/true,
+                                          config_.model.kv_get_concurrency);
+  main_container_ = main.get();
+  containers_.emplace(main_uuid, std::move(main));
+}
+
+void Cluster::build_topology() {
+  net::TopologyConfig tcfg;
+  tcfg.nodes = config_.server_nodes + config_.client_nodes;
+  tcfg.sockets_per_node = 2;
+  tcfg.upi_capacity = config_.upi_capacity;
+  tcfg.provider = config_.provider;
+  topology_ = std::make_unique<net::Topology>(flows_, tcfg);
+
+  // Table 1 rows 1-2: DAOS read responses over TCP saturate a client NIC
+  // well below raw MPI receive throughput (model_config.h:
+  // tcp_client_read_efficiency).  Scale the client NIC rx links only.
+  const double rx_eff = config_.model.tcp_client_read_efficiency;
+  if (config_.provider.name == "tcp" && rx_eff < 1.0) {
+    for (std::size_t c = 0; c < config_.client_nodes; ++c) {
+      for (std::size_t s = 0; s < 2; ++s) {
+        const net::LinkId id = topology_->nic_rx(net::Endpoint{client_topology_node(c), s});
+        net::Link& link = flows_.mutable_link(id);
+        link.raw_capacity *= rx_eff;
+        if (!link.efficiency.empty()) link.efficiency = link.efficiency.scaled(rx_eff);
+      }
+    }
+  }
+}
+
+void Cluster::build_storage() {
+  const ModelConfig& m = config_.model;
+  const std::size_t engines = engine_count();
+
+  // Global service efficiency: empirical large-scale taper (Fig. 3 / Fig. 5)
+  // and PSM2 RDMA service boost (Fig. 7).
+  double service_eff = 1.0;
+  if (engines > 16) service_eff /= 1.0 + m.large_scale_taper_per_engine * static_cast<double>(engines - 16);
+  if (config_.provider.name == "psm2") service_eff *= m.psm2_target_service_boost;
+
+  double write_rate = m.target_write_rate * service_eff;
+  double read_rate = m.target_read_rate * service_eff;
+  double node_io_cap = m.server_node_io_cap * service_eff;
+  if (config_.server_nodes > 1) {
+    write_rate *= m.multi_node_write_derate;
+    node_io_cap *= m.multi_node_read_derate;
+  }
+
+  for (std::size_t n = 0; n < config_.server_nodes; ++n) {
+    // Per-node aggregate data-movement ceiling (model_config.h:
+    // server_node_io_cap).
+    net::Link cap;
+    cap.name = strf("server%zu.io_cap", n);
+    cap.kind = net::LinkKind::generic;
+    cap.raw_capacity = node_io_cap;
+    node_io_caps_.push_back(flows_.add_link(std::move(cap)));
+
+    for (std::size_t s = 0; s < config_.engines_per_server; ++s) {
+      // SCM region: AppDirect interleaved set of this socket's DCPMMs.
+      const std::size_t region_index = regions_.size();
+      regions_.push_back(std::make_unique<scm::ScmRegion>(strf("node%zu.sock%zu.scm", n, s),
+                                                          config_.dcpmm, config_.dcpmm_per_socket));
+      net::Link scm_w;
+      scm_w.name = regions_.back()->name() + ".write";
+      scm_w.kind = net::LinkKind::scm;
+      scm_w.raw_capacity = regions_.back()->write_bandwidth();
+      region_write_links_.push_back(flows_.add_link(std::move(scm_w)));
+      net::Link scm_r;
+      scm_r.name = regions_.back()->name() + ".read";
+      scm_r.kind = net::LinkKind::scm;
+      scm_r.raw_capacity = regions_.back()->read_bandwidth();
+      region_read_links_.push_back(flows_.add_link(std::move(scm_r)));
+
+      const std::size_t engine_index = n * config_.engines_per_server + s;
+      const auto n_targets = static_cast<double>(config_.targets_per_engine);
+
+      // Engine-level aggregate service (the hard ceiling)...
+      net::Link ew;
+      ew.name = strf("engine%zu.write", engine_index);
+      ew.kind = net::LinkKind::target_svc;
+      ew.raw_capacity = write_rate * n_targets;
+      engine_write_links_.push_back(flows_.add_link(std::move(ew)));
+      net::Link er;
+      er.name = strf("engine%zu.read", engine_index);
+      er.kind = net::LinkKind::target_svc;
+      er.raw_capacity = read_rate * n_targets;
+      engine_read_links_.push_back(flows_.add_link(std::move(er)));
+
+      // ...and per-target shards that may burst above their fair share
+      // (model_config.h: target_burst_factor).
+      for (std::size_t t = 0; t < config_.targets_per_engine; ++t) {
+        Target target;
+        target.node = n;
+        target.socket = s;
+        target.engine = engine_index;
+        target.region = region_index;
+
+        net::Link w;
+        w.name = strf("engine%zu.tgt%zu.write", engine_index, t);
+        w.kind = net::LinkKind::target_svc;
+        w.raw_capacity = write_rate * m.target_burst_factor;
+        target.write_link = flows_.add_link(std::move(w));
+
+        net::Link r;
+        r.name = strf("engine%zu.tgt%zu.read", engine_index, t);
+        r.kind = net::LinkKind::target_svc;
+        r.raw_capacity = read_rate * m.target_burst_factor;
+        target.read_link = flows_.add_link(std::move(r));
+
+        targets_.push_back(target);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> Cluster::placement(const ObjectId& oid) const {
+  const std::size_t n = targets_.size();
+  const std::size_t base = static_cast<std::size_t>(mix64(oid.hi ^ (oid.lo * 0x9e3779b97f4a7c15ull))) % n;
+  switch (oid.oclass()) {
+    case ObjectClass::S1: return {base};
+    case ObjectClass::S2: return {base, (base + 1) % n};
+    case ObjectClass::SX: {
+      std::vector<std::size_t> all(n);
+      for (std::size_t i = 0; i < n; ++i) all[i] = (base + i) % n;
+      return all;
+    }
+  }
+  throw std::logic_error("unknown object class in placement");
+}
+
+std::size_t Cluster::shard_for_key(const ObjectId& oid, const std::string& key) const {
+  std::uint64_t h = oid.hi ^ oid.lo;
+  for (const char c : key) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+  // Stripe member without materialising the placement vector (hot path).
+  const std::size_t n = targets_.size();
+  const std::size_t base = static_cast<std::size_t>(mix64(oid.hi ^ (oid.lo * 0x9e3779b97f4a7c15ull))) % n;
+  std::size_t stripe_size = 1;
+  switch (oid.oclass()) {
+    case ObjectClass::S1: stripe_size = 1; break;
+    case ObjectClass::S2: stripe_size = 2; break;
+    case ObjectClass::SX: stripe_size = n; break;
+  }
+  const std::size_t member = static_cast<std::size_t>(mix64(h)) % stripe_size;
+  return (base + member) % n;
+}
+
+std::vector<net::LinkId> Cluster::write_path(net::Endpoint client, const Target& target) const {
+  std::vector<net::LinkId> path;
+  path.push_back(topology_->nic_tx(client));
+  path.push_back(topology_->nic_rx(net::Endpoint{target.node, client.socket}));
+  if (target.socket != client.socket) path.push_back(topology_->upi(target.node));
+  path.push_back(engine_write_links_[target.engine]);
+  path.push_back(target.write_link);
+  path.push_back(region_write_links_[target.region]);
+  path.push_back(node_io_caps_[target.node]);
+  return path;
+}
+
+std::vector<net::LinkId> Cluster::read_path(net::Endpoint client, const Target& target) const {
+  std::vector<net::LinkId> path;
+  path.push_back(topology_->nic_tx(net::Endpoint{target.node, client.socket}));
+  path.push_back(topology_->nic_rx(client));
+  if (target.socket != client.socket) path.push_back(topology_->upi(target.node));
+  path.push_back(engine_read_links_[target.engine]);
+  path.push_back(target.read_link);
+  path.push_back(region_read_links_[target.region]);
+  path.push_back(node_io_caps_[target.node]);
+  return path;
+}
+
+std::vector<net::LinkId> Cluster::service_path(std::size_t target_index, bool is_write) const {
+  // Metadata service is handled by the owning engine's helper xstreams: it
+  // consumes engine-level capacity (competing with data movement) but is
+  // not pinned to the shard target's data-service share.
+  const Target& t = targets_.at(target_index);
+  if (is_write) return {engine_write_links_[t.engine]};
+  return {engine_read_links_[t.engine]};
+}
+
+std::vector<net::LinkId> Cluster::container_service_path(std::size_t target_index, bool is_write) const {
+  auto path = service_path(target_index, is_write);
+  path.push_back(node_io_caps_[targets_.at(target_index).node]);
+  return path;
+}
+
+Bytes Cluster::pool_capacity() const {
+  Bytes total = 0;
+  for (const auto& r : regions_) total += r->capacity();
+  return total;
+}
+
+Bytes Cluster::pool_used() const {
+  Bytes total = 0;
+  for (const auto& r : regions_) total += r->used();
+  return total;
+}
+
+Status Cluster::create_container(const Uuid& uuid) {
+  const FaultInjection& f = config_.faults;
+  if (f.container_create_issue && config_.server_nodes > f.container_issue_min_servers &&
+      containers_created_ >= f.container_issue_threshold) {
+    return Status::error(Errc::unavailable,
+                         strf("emulated DAOS issue: container creation failing beyond %zu server nodes "
+                              "(paper Section 7)",
+                              f.container_issue_min_servers));
+  }
+  if (containers_.count(uuid) != 0) {
+    return Status::error(Errc::already_exists, "container exists: " + uuid.to_string());
+  }
+  containers_.emplace(uuid, std::make_unique<Container>(sched_, uuid, /*is_main=*/false,
+                                                        config_.model.kv_get_concurrency));
+  ++containers_created_;
+  return Status::ok();
+}
+
+Result<Container*> Cluster::open_container(const Uuid& uuid) {
+  const auto it = containers_.find(uuid);
+  if (it == containers_.end()) {
+    return Status::error(Errc::not_found, "container not found: " + uuid.to_string());
+  }
+  return it->second.get();
+}
+
+Result<std::pair<std::size_t, std::uint64_t>> Cluster::charge_capacity(std::size_t target_index,
+                                                                       Bytes bytes) {
+  const Target& t = targets_.at(target_index);
+  auto alloc = regions_[t.region]->allocate(bytes);
+  if (!alloc.is_ok()) return alloc.status();
+  // The field functions never free these (re-writes de-reference without
+  // deleting, Section 4); only an explicit purge reclaims them.
+  return std::make_pair(t.region, alloc.value());
+}
+
+void Cluster::release_capacity(std::size_t region_index, std::uint64_t allocation_id) {
+  regions_.at(region_index)->free(allocation_id);
+}
+
+}  // namespace nws::daos

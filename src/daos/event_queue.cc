@@ -1,0 +1,79 @@
+#include "daos/event_queue.h"
+
+namespace nws::daos {
+
+sim::Task<void> EventQueue::run_status(EventQueue& eq, EventId id, sim::Task<Status> op) {
+  Status status = Status::ok();
+  try {
+    status = co_await std::move(op);
+  } catch (const std::exception& e) {
+    status = Status::error(Errc::io_error, e.what());
+  }
+  eq.complete(id, std::move(status));
+}
+
+sim::Task<void> EventQueue::run_void(EventQueue& eq, EventId id, sim::Task<void> op) {
+  Status status = Status::ok();
+  try {
+    co_await std::move(op);
+  } catch (const std::exception& e) {
+    status = Status::error(Errc::io_error, e.what());
+  }
+  eq.complete(id, std::move(status));
+}
+
+EventId EventQueue::launch(sim::Task<Status> op) {
+  const EventId id = next_id_++;
+  ++in_flight_;
+  sched_.spawn(run_status(*this, id, std::move(op)));
+  return id;
+}
+
+EventId EventQueue::launch(sim::Task<void> op) {
+  const EventId id = next_id_++;
+  ++in_flight_;
+  sched_.spawn(run_void(*this, id, std::move(op)));
+  return id;
+}
+
+void EventQueue::complete(EventId id, Status status) {
+  if (in_flight_ == 0) throw std::logic_error("EventQueue completion underflow");
+  --in_flight_;
+  statuses_[id] = std::move(status);
+  completed_order_.push_back(id);
+  completion_.open();  // wake waiters; they re-close before re-waiting
+}
+
+std::vector<EventId> EventQueue::poll(std::size_t max) {
+  std::vector<EventId> out;
+  while (!completed_order_.empty() && out.size() < max) {
+    out.push_back(completed_order_.front());
+    completed_order_.pop_front();
+  }
+  return out;
+}
+
+sim::Task<void> EventQueue::wait_any() {
+  while (completed_order_.empty()) {
+    if (in_flight_ == 0) co_return;  // nothing will ever complete
+    completion_.close();
+    co_await completion_.wait();
+  }
+}
+
+sim::Task<void> EventQueue::wait_all() {
+  while (in_flight_ > 0) {
+    completion_.close();
+    co_await completion_.wait();
+  }
+}
+
+Status EventQueue::status_of(EventId id) const {
+  const auto it = statuses_.find(id);
+  if (it == statuses_.end()) {
+    return Status::error(Errc::not_found, "no completion recorded for event " + std::to_string(id));
+  }
+  return it->second;
+}
+
+}  // namespace nws::daos

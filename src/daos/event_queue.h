@@ -1,0 +1,106 @@
+// Asynchronous operation batching: the "A" in DAOS.
+//
+// DAOS offers "transactional non-blocking I/O" (paper Section 3): clients
+// create event queues, launch operations against events, and poll or wait
+// for completions, overlapping many in-flight operations from one process.
+// This is the equivalent for the simulated client: launch() starts an
+// operation as a concurrent simulated activity and returns an EventId;
+// wait_any()/wait_all() suspend until completions arrive; poll() harvests
+// without blocking.
+//
+//   daos::EventQueue eq(client.cluster().scheduler());
+//   auto e1 = eq.launch(client.array_write(h1, 0, nullptr, 1_MiB));
+//   auto e2 = eq.launch(client.array_write(h2, 0, nullptr, 1_MiB));
+//   co_await eq.wait_all();            // both transfers ran concurrently
+//   eq.status_of(e1).expect_ok("w1");
+//
+// Operations returning Status complete with that status; operations
+// returning values complete ok and deliver the value through the typed
+// launch overload's callback.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace nws::daos {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  explicit EventQueue(sim::Scheduler& sched) : sched_(sched), completion_(sched) {}
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Launches a Status-returning operation; it runs concurrently with the
+  /// caller.  The returned id identifies the completion.
+  EventId launch(sim::Task<Status> op);
+
+  /// Launches a value-returning operation; `on_complete` runs at completion
+  /// with the result (the event's status reflects the result's status).
+  template <typename T>
+  EventId launch(sim::Task<Result<T>> op, std::function<void(Result<T>)> on_complete) {
+    const EventId id = next_id_++;
+    ++in_flight_;
+    sched_.spawn(run_value<T>(*this, id, std::move(op), std::move(on_complete)));
+    return id;
+  }
+
+  /// Launches a void operation (close/disconnect style).
+  EventId launch(sim::Task<void> op);
+
+  /// Number of operations still running.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  /// Completions not yet harvested by poll().
+  [[nodiscard]] std::size_t completed() const { return completed_order_.size(); }
+
+  /// Harvests up to `max` completions (oldest first) without blocking.
+  std::vector<EventId> poll(std::size_t max = SIZE_MAX);
+
+  /// Suspends until at least one unharvested completion exists (returns
+  /// immediately if one is already pending).
+  sim::Task<void> wait_any();
+
+  /// Suspends until every launched operation has completed.
+  sim::Task<void> wait_all();
+
+  /// Status of a completed event; invalid to query unknown/unharvested-less
+  /// ids that never existed.
+  [[nodiscard]] Status status_of(EventId id) const;
+
+ private:
+  static sim::Task<void> run_status(EventQueue& eq, EventId id, sim::Task<Status> op);
+  static sim::Task<void> run_void(EventQueue& eq, EventId id, sim::Task<void> op);
+
+  template <typename T>
+  static sim::Task<void> run_value(EventQueue& eq, EventId id, sim::Task<Result<T>> op,
+                                   std::function<void(Result<T>)> on_complete) {
+    Status status = Status::ok();
+    try {
+      Result<T> result = co_await std::move(op);
+      status = result.is_ok() ? Status::ok() : result.status();
+      if (on_complete) on_complete(std::move(result));
+    } catch (const std::exception& e) {
+      status = Status::error(Errc::io_error, e.what());
+    }
+    eq.complete(id, std::move(status));
+  }
+
+  void complete(EventId id, Status status);
+
+  sim::Scheduler& sched_;
+  sim::Gate completion_;
+  EventId next_id_ = 1;
+  std::size_t in_flight_ = 0;
+  std::unordered_map<EventId, Status> statuses_;
+  std::deque<EventId> completed_order_;
+};
+
+}  // namespace nws::daos

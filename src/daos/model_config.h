@@ -1,0 +1,169 @@
+// Timing-model constants for the DAOS simulator.
+//
+// Every constant here reproduces a specific observation from the paper's
+// evaluation (cited inline).  Constants encoding a *mechanism* the paper
+// identifies (target service ceilings, KV transaction serialisation and
+// contention retries, per-op RPC costs, striping fan-out) are distinguished
+// from *empirical derates* for effects the paper reports but does not
+// explain (multi-node read efficiency, the container-layer penalty, the
+// large-scale taper); the latter are clearly labelled.  bench/* regenerate
+// the paper's tables and figures from these values; EXPERIMENTS.md records
+// the resulting paper-vs-measured comparison.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace nws::daos {
+
+struct ModelConfig {
+  // --- Target / engine / node service ceilings (mechanism + calibration) ----
+  // Write: Table 1 row 3 — a dual-engine server sustains ~5.5 GiB/s write
+  // (~2.75 per engine); with 12 targets per engine that is ~0.23 GiB/s of
+  // write service per target.  First-generation Optane media is strongly
+  // read/write asymmetric, and DAOS server-side write handling (checksums,
+  // persistence ordering) is costlier than read.
+  double target_write_rate = gib_per_sec(0.23);
+  // Read: Table 1 row 2 — a *single* engine serves up to ~7.7 GiB/s read
+  // when enough client interfaces pull from it: ~0.64 GiB/s per target.
+  double target_read_rate = gib_per_sec(0.64);
+  // Targets are scheduling shards of an engine, not hard partitions: a hot
+  // target may burst beyond its 1/N share (up to this multiple) while the
+  // engine-level aggregate cap holds.  Without this, random S1 placement
+  // produces balls-in-bins stragglers far beyond what the paper observed.
+  double target_burst_factor = 3.0;
+  // A dual-engine node does not serve 2 x 7.7 GiB/s: node-level memory /
+  // IO subsystem contention caps combined data movement at ~10 GiB/s per
+  // server node (Table 1 row 3 and the single-node point of Fig. 3:
+  // ~5 GiB/s/engine read).  Writes alone never reach it (2 x 2.76), but in
+  // mixed read/write workloads (pattern B) the shared cap couples the two.
+  double server_node_io_cap = gib_per_sec(10.0);
+
+  // --- Empirical derates ----------------------------------------------------
+  // Fig. 3: the marginal read bandwidth per engine drops from ~5 GiB/s
+  // (single server node) to ~3.75 GiB/s once the pool spans several nodes.
+  // The paper hypothesises cross-socket interface contention without
+  // isolating the mechanism; we apply the observed ratio to the node I/O
+  // cap when the pool spans more than one server node.
+  double multi_node_read_derate = 0.75;
+  // Fig. 3: write slope settles at ~2.5 GiB/s per engine across nodes,
+  // slightly below the single-node 2.75.
+  double multi_node_write_derate = 0.92;
+  // Fig. 3 / Fig. 5: "above 8 server nodes, the scaling rate seems to
+  // decrease slightly".  Per-target service efficiency loses this fraction
+  // for every engine beyond 16 (i.e. beyond 8 dual-engine nodes).
+  double large_scale_taper_per_engine = 0.012;
+  // Table 1 rows 1-2: one client interface pulls only ~4.2 GiB/s of DAOS
+  // reads over TCP even though raw MPI receive reaches 9.5 (Table 2) —
+  // request/response read processing is costlier than streaming receive.
+  // Applied to client NIC rx capacity when the provider is TCP.
+  double tcp_client_read_efficiency = 0.50;
+  // Fig. 7: PSM2 delivers 10-25% more DAOS bandwidth than TCP at equal
+  // scale — RDMA offloads server-side data movement, effectively raising
+  // target service rates.
+  double psm2_target_service_boost = 1.15;
+  // Fig. 6: bandwidth plateaus/drops slightly beyond 10 MiB objects.
+  // Per-doubling derate of target service for transfers beyond the
+  // threshold (media/buffer churn on very large values).
+  Bytes target_large_object_threshold = 10_MiB;
+  double target_large_object_penalty = 0.07;
+
+  // --- RPC / per-operation costs (mechanism) --------------------------------
+  // Fixed client+server software overhead per operation kind, in addition
+  // to provider message latency.  These amortise with object size (part of
+  // Fig. 6's size curve).
+  sim::Duration array_create_overhead = sim::microseconds(210);
+  sim::Duration array_open_overhead = sim::microseconds(90);
+  sim::Duration array_close_overhead = sim::microseconds(60);
+  sim::Duration array_io_overhead = sim::microseconds(120);
+  sim::Duration kv_op_overhead = sim::microseconds(60);
+  sim::Duration cont_create_overhead = sim::microseconds(600);
+  sim::Duration cont_open_overhead = sim::microseconds(350);
+  sim::Duration pool_connect_overhead = sim::microseconds(800);
+  sim::Duration handle_close_overhead = sim::microseconds(15);
+
+  // --- Key-Value service (mechanism) ----------------------------------------
+  // A KV update consumes service on the dkey's shard target (stealing
+  // capacity from array I/O on that target — DAOS metadata and data are
+  // served by the same target xstreams) plus a short serialised section on
+  // the object (transaction ordering).  Under contention, conditional
+  // updates abort and retry, multiplying the server-side work: we charge
+  // extra service bytes per queued waiter.  The serialised section is what
+  // bends indexed-mode scaling past ~4 server nodes in Fig. 4: aggregate
+  // update throughput saturates near 1/serial ops/s.
+  Bytes kv_put_service_bytes = 128_KiB;
+  Bytes kv_get_service_bytes = 96_KiB;
+  sim::Duration kv_put_serial = sim::microseconds(100);
+  sim::Duration kv_get_serial = sim::microseconds(140);
+  // A hot KV object services at most this many fetches simultaneously;
+  // together with kv_get_serial this caps per-object read ops/s (the read
+  // side of the Fig. 4 bend).
+  std::size_t kv_get_concurrency = 4;
+  // Contention retry cost: extra shard service per concurrent updater of
+  // the same object (capped).
+  Bytes kv_contention_retry_bytes = 96_KiB;
+  std::size_t kv_contention_retry_cap = 8;
+  // Concurrent-reader cost: extra shard service per concurrent reader of
+  // the same KV object (capped) — fetch-side contention handling.
+  Bytes kv_read_concurrency_bytes = 160_KiB;
+  std::size_t kv_read_concurrency_cap = 8;
+  // Reader/writer cross-contention: a fetch of an entry while updates are
+  // in flight on the object (and vice versa) pays conditional retry work —
+  // the pattern-B coupling the paper describes ("there is some contention
+  // in each forecast index Key-Value between reader and writer processes
+  // on the same object", Section 5.3).
+  Bytes kv_cross_contention_bytes = 768_KiB;
+  // An entry updated within this window counts as hot: fetches pay the
+  // cross-contention work (and updates pay it when the object was recently
+  // read).  Outside the window (e.g. pattern A's disjoint phases) reads are
+  // clean.
+  sim::Duration kv_hot_entry_window = sim::milliseconds(25);
+
+  // --- Container layer (empirical derate) -----------------------------------
+  // Fig. 5: the "full" mode (objects in per-forecast containers) scales at
+  // ~1.6 GiB/s aggregated per engine in pattern B versus ~2.75 for the
+  // "no containers" mode.  The paper: "Further work will be necessary to
+  // investigate the cause of the low performance obtained with the Field
+  // I/O mode with containers."  We reproduce the effect as an extra
+  // per-operation cost on the target when the object lives outside the
+  // main container.
+  Bytes container_indirection_bytes = 160_KiB;
+  sim::Duration container_indirection_latency = sim::microseconds(180);
+  // Containers concurrently serving readers AND writers (pattern B's store
+  // containers) pay extra per-op handling — the mixed-load half of the
+  // container penalty (full mode B at ~1.6 GiB/s aggregated per engine
+  // versus no-containers at ~2.75, Fig. 5).
+  Bytes container_mixed_load_bytes = 896_KiB;
+
+  // --- Array conflict serialisation (mechanism) -----------------------------
+  // Re-writing an array while another process reads it serialises at the
+  // object level ("in no index mode, the same degree of contention occurs
+  // at the Array level", Section 5.3).  When enabled, array data operations
+  // on the same object id are mutually exclusive.
+  bool array_conflict_serialization = true;
+
+  // --- Stochastics -----------------------------------------------------------
+  // Log-space sigma of the per-operation service jitter.  Produces the
+  // straggler spread separating the paper's max-of-36-reps (Table 1) from
+  // its mean-of-reps (Fig. 3) reporting.
+  double op_jitter_sigma = 0.08;
+  // Per-process start-up skew for unsynchronised benchmarks (uniform, s).
+  double startup_skew_max_seconds = 0.05;
+
+  // --- Striping --------------------------------------------------------------
+  // Array chunk size: consecutive chunks round-robin across the object's
+  // stripe targets (DAOS default 1 MiB).
+  Bytes array_chunk_size = 1_MiB;
+  // Per-additional-stripe RPC fan-out cost of an array op.  Striping buys
+  // parallel target service but costs extra RPCs — why OC_SX wins 1 MiB
+  // writes while OC_S2 wins reads in Fig. 6.
+  sim::Duration stripe_fanout_overhead = sim::microseconds(40);
+  // Cap on concurrently modelled shard flows per op: beyond this, shards
+  // coalesce (documented approximation keeping the event count tractable
+  // for OC_SX over hundreds of targets).
+  std::size_t max_shard_flows = 4;
+};
+
+}  // namespace nws::daos

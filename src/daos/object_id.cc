@@ -1,0 +1,47 @@
+#include "daos/object_id.h"
+
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace nws::daos {
+
+const char* object_class_name(ObjectClass oc) {
+  switch (oc) {
+    case ObjectClass::S1: return "S1";
+    case ObjectClass::S2: return "S2";
+    case ObjectClass::SX: return "SX";
+  }
+  return "?";
+}
+
+ObjectClass object_class_by_name(const std::string& name) {
+  if (name == "S1" || name == "s1") return ObjectClass::S1;
+  if (name == "S2" || name == "s2") return ObjectClass::S2;
+  if (name == "SX" || name == "sx") return ObjectClass::SX;
+  throw std::invalid_argument("unknown object class: " + name + " (expected S1, S2 or SX)");
+}
+
+ObjectId ObjectId::generate(std::uint32_t user_hi, std::uint64_t user_lo, ObjectType type,
+                            ObjectClass oclass) {
+  ObjectId oid;
+  oid.hi = (static_cast<std::uint64_t>(type) << 56) | (static_cast<std::uint64_t>(oclass) << 48) |
+           static_cast<std::uint64_t>(user_hi);
+  oid.lo = user_lo;
+  return oid;
+}
+
+ObjectId ObjectId::from_digest(const Md5Digest& digest, ObjectType type, ObjectClass oclass) {
+  return generate(static_cast<std::uint32_t>(digest.hi64()), digest.lo64(), type, oclass);
+}
+
+std::string ObjectId::to_string() const { return strf("%016llx.%016llx", (unsigned long long)hi, (unsigned long long)lo); }
+
+std::string Uuid::to_string() const {
+  // Standard 8-4-4-4-12 rendering of the 128 bits.
+  return strf("%08llx-%04llx-%04llx-%04llx-%012llx", (unsigned long long)(hi >> 32),
+              (unsigned long long)((hi >> 16) & 0xffff), (unsigned long long)(hi & 0xffff),
+              (unsigned long long)(lo >> 48), (unsigned long long)(lo & 0xffffffffffffull));
+}
+
+}  // namespace nws::daos

@@ -1,0 +1,101 @@
+#include "daos/objects.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace nws::daos {
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void ArrayObject::write(Bytes offset, const std::uint8_t* data, Bytes len) {
+  if (len == 0) return;
+  const Bytes end = offset + len;
+  if (mode_ == PayloadMode::full) {
+    if (data == nullptr) throw std::invalid_argument("full-mode array write needs data");
+    if (bytes_.size() < end) bytes_.resize(end, 0);
+    std::memcpy(bytes_.data() + offset, data, len);
+  } else {
+    if (offset == 0) digest_ = 14695981039346656037ull;  // whole-object (re)write: exact digest
+    if (data != nullptr) {
+      std::uint64_t h = digest_;
+      for (Bytes i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+      }
+      digest_ = h;
+    }
+  }
+  size_ = std::max(size_, end);
+}
+
+Bytes ArrayObject::read(Bytes offset, std::uint8_t* out, Bytes len) const {
+  if (offset >= size_) return 0;
+  const Bytes n = std::min(len, size_ - offset);
+  if (mode_ == PayloadMode::full && out != nullptr) {
+    std::memcpy(out, bytes_.data() + offset, n);
+  }
+  return n;
+}
+
+std::uint64_t ArrayObject::checksum() const {
+  if (mode_ == PayloadMode::full) return fnv1a(bytes_.data(), bytes_.size());
+  return digest_;
+}
+
+KvObject& Container::kv(const ObjectId& oid) {
+  if (oid.type() != ObjectType::key_value) throw std::logic_error("kv() on non-KV object id");
+  if (arrays_.count(oid) != 0) throw std::logic_error("object id already used by an array");
+  auto it = kvs_.find(oid);
+  if (it == kvs_.end()) {
+    it = kvs_.emplace(oid, std::make_unique<KvObject>(sched_, kv_get_concurrency_)).first;
+  }
+  return *it->second;
+}
+
+Result<ArrayObject*> Container::create_array(const ObjectId& oid, Bytes cell_size, Bytes chunk_size,
+                                             PayloadMode mode) {
+  if (oid.type() != ObjectType::array) throw std::logic_error("create_array on non-array object id");
+  if (has_object(oid)) {
+    return Status::error(Errc::already_exists, "array already exists: " + oid.to_string());
+  }
+  auto arr = std::make_unique<ArrayObject>(sched_, cell_size, chunk_size, mode);
+  ArrayObject* ptr = arr.get();
+  arrays_.emplace(oid, std::move(arr));
+  return ptr;
+}
+
+Result<std::unique_ptr<ArrayObject>> Container::destroy_array(const ObjectId& oid) {
+  const auto it = arrays_.find(oid);
+  if (it == arrays_.end()) {
+    return Status::error(Errc::not_found, "array not found: " + oid.to_string());
+  }
+  std::unique_ptr<ArrayObject> state = std::move(it->second);
+  arrays_.erase(it);
+  return state;
+}
+
+std::vector<ObjectId> Container::list_arrays() const {
+  std::vector<ObjectId> oids;
+  oids.reserve(arrays_.size());
+  for (const auto& [oid, state] : arrays_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+Result<ArrayObject*> Container::open_array(const ObjectId& oid) {
+  const auto it = arrays_.find(oid);
+  if (it == arrays_.end()) {
+    return Status::error(Errc::not_found, "array not found: " + oid.to_string());
+  }
+  return it->second.get();
+}
+
+}  // namespace nws::daos

@@ -1,0 +1,209 @@
+// Functional state of DAOS containers and objects.
+//
+// This is the *semantic* half of the simulator: containers really hold
+// objects, Key-Values really map keys to values, Arrays really hold bytes
+// (or, in digest mode, a size + checksum so multi-terabyte benchmark
+// workloads do not materialise in host memory).  The timing half lives in
+// Client/Cluster.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "daos/object_id.h"
+#include "sim/sync.h"
+
+namespace nws::daos {
+
+/// How array payloads are retained.
+enum class PayloadMode {
+  full,    // keep every byte (tests, examples)
+  digest,  // keep size + FNV-1a checksum only (large benchmarks)
+};
+
+/// FNV-1a over a byte range; used for digest-mode payload verification.
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len);
+
+class KvObject {
+ public:
+  /// `get_concurrency` bounds simultaneous fetch servicing on the object
+  /// (timing model; see ModelConfig::kv_get_concurrency).
+  explicit KvObject(sim::Scheduler& sched, std::size_t get_concurrency = 4)
+      : object_lock_(sched), get_slots_(sched, get_concurrency) {}
+
+  void put(const std::string& key, std::string value) { entries_[key] = std::move(value); }
+
+  [[nodiscard]] Result<std::string> get(const std::string& key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::error(Errc::not_found, "KV key not found: " + key);
+    return it->second;
+  }
+
+  /// Removes a key; returns not_found if absent.
+  Status remove(const std::string& key) {
+    if (entries_.erase(key) == 0) return Status::error(Errc::not_found, "KV key not found: " + key);
+    return Status::ok();
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const { return entries_.count(key) != 0; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Keys in lexicographic order (daos_kv_list equivalent).
+  [[nodiscard]] std::vector<std::string> list() const {
+    std::vector<std::string> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [k, v] : entries_) keys.push_back(k);
+    return keys;
+  }
+
+  /// Serialises transactional updates on this object (timing model).
+  sim::Mutex& object_lock() { return object_lock_; }
+
+  /// Concurrent-reader instrumentation (timing model: fetch-side contention).
+  void reader_enter() { ++active_readers_; }
+  void reader_exit() {
+    if (active_readers_ == 0) throw std::logic_error("KvObject::reader_exit underflow");
+    --active_readers_;
+  }
+  [[nodiscard]] std::size_t active_readers() const { return active_readers_; }
+
+  /// Concurrent-updater instrumentation (timing model: conditional-update
+  /// retry cost scales with concurrent writers).
+  void writer_enter() { ++active_writers_; }
+  void writer_exit() {
+    if (active_writers_ == 0) throw std::logic_error("KvObject::writer_exit underflow");
+    --active_writers_;
+  }
+  [[nodiscard]] std::size_t active_writers() const { return active_writers_; }
+
+  /// Bounded fetch-servicing slots (timing model).
+  sim::Semaphore& get_slots() { return get_slots_; }
+
+  /// Hot-entry tracking (timing model): cross-contention applies to fetches
+  /// shortly after an update and vice versa.
+  void note_update(sim::TimePoint t) { last_update_ = t; }
+  void note_read(sim::TimePoint t) { last_read_ = t; }
+  [[nodiscard]] sim::TimePoint last_update() const { return last_update_; }
+  [[nodiscard]] sim::TimePoint last_read() const { return last_read_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  std::size_t active_readers_ = 0;
+  std::size_t active_writers_ = 0;
+  sim::TimePoint last_update_ = -1;
+  sim::TimePoint last_read_ = -1;
+  sim::Mutex object_lock_;
+  sim::Semaphore get_slots_;
+};
+
+class ArrayObject {
+ public:
+  ArrayObject(sim::Scheduler& sched, Bytes cell_size, Bytes chunk_size, PayloadMode mode)
+      : cell_size_(cell_size), chunk_size_(chunk_size), mode_(mode), object_lock_(sched) {}
+
+  [[nodiscard]] Bytes cell_size() const { return cell_size_; }
+  [[nodiscard]] Bytes chunk_size() const { return chunk_size_; }
+  [[nodiscard]] Bytes size() const { return size_; }
+
+  /// Stores `len` bytes at `offset`.  In digest mode only size/checksum are
+  /// retained (whole-object writes keep an exact checksum; partial re-writes
+  /// fold the new bytes into a combined hash).
+  void write(Bytes offset, const std::uint8_t* data, Bytes len);
+
+  /// Reads up to `len` bytes at `offset` into `out` (may be null in digest
+  /// mode); returns the number of bytes read (clamped to the array size).
+  [[nodiscard]] Bytes read(Bytes offset, std::uint8_t* out, Bytes len) const;
+
+  /// Whole-object checksum: exact FNV-1a of contents in full mode; the
+  /// folded write digest in digest mode.
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  sim::Mutex& object_lock() { return object_lock_; }
+
+  /// SCM allocations charged to this array (region index, allocation id) —
+  /// enables purge-time reclamation.
+  void note_allocation(std::size_t region, std::uint64_t allocation_id) {
+    allocations_.emplace_back(region, allocation_id);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::uint64_t>>& allocations() const {
+    return allocations_;
+  }
+
+ private:
+  Bytes cell_size_;
+  Bytes chunk_size_;
+  PayloadMode mode_;
+  Bytes size_ = 0;
+  std::vector<std::uint8_t> bytes_;  // full mode only
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV offset basis
+  std::vector<std::pair<std::size_t, std::uint64_t>> allocations_;
+  sim::Mutex object_lock_;
+};
+
+/// A DAOS container: a private object address space inside a pool.
+class Container {
+ public:
+  Container(sim::Scheduler& sched, Uuid id, bool is_main, std::size_t kv_get_concurrency = 4)
+      : sched_(sched), id_(id), is_main_(is_main), kv_get_concurrency_(kv_get_concurrency) {}
+
+  [[nodiscard]] Uuid id() const { return id_; }
+  [[nodiscard]] bool is_main() const { return is_main_; }
+
+  /// Opens (creating on first use, as DAOS objects are materialised on first
+  /// write) the KV object with this id.  Type mismatches are logic errors.
+  KvObject& kv(const ObjectId& oid);
+
+  /// Creates an array object; fails with already_exists on id reuse.
+  Result<ArrayObject*> create_array(const ObjectId& oid, Bytes cell_size, Bytes chunk_size,
+                                    PayloadMode mode);
+
+  /// Opens an existing array object.
+  Result<ArrayObject*> open_array(const ObjectId& oid);
+
+  /// Removes an array object, returning its state for final cleanup.
+  Result<std::unique_ptr<ArrayObject>> destroy_array(const ObjectId& oid);
+
+  /// Object ids of every array in the container (catalogue / purge).
+  [[nodiscard]] std::vector<ObjectId> list_arrays() const;
+
+  [[nodiscard]] bool has_object(const ObjectId& oid) const { return kvs_.count(oid) + arrays_.count(oid) != 0; }
+  [[nodiscard]] std::size_t object_count() const { return kvs_.size() + arrays_.size(); }
+  [[nodiscard]] std::size_t array_count() const { return arrays_.size(); }
+
+  /// Mixed-load instrumentation (timing model): array data ops in flight
+  /// and recency, so interleaved reader/writer activity registers as mixed
+  /// even when the ops do not overlap instant-for-instant.
+  void array_io_enter(bool is_write) { is_write ? ++active_array_writers_ : ++active_array_readers_; }
+  void array_io_exit(bool is_write, sim::TimePoint now) {
+    is_write ? --active_array_writers_ : --active_array_readers_;
+    (is_write ? last_array_write_ : last_array_read_) = now;
+  }
+  [[nodiscard]] bool mixed_array_load(sim::TimePoint now, sim::Duration window) const {
+    const bool write_active =
+        active_array_writers_ > 0 || (last_array_write_ >= 0 && now - last_array_write_ < window);
+    const bool read_active =
+        active_array_readers_ > 0 || (last_array_read_ >= 0 && now - last_array_read_ < window);
+    return write_active && read_active;
+  }
+
+ private:
+  sim::Scheduler& sched_;
+  Uuid id_;
+  bool is_main_;
+  std::size_t kv_get_concurrency_;
+  std::size_t active_array_readers_ = 0;
+  std::size_t active_array_writers_ = 0;
+  sim::TimePoint last_array_read_ = -1;
+  sim::TimePoint last_array_write_ = -1;
+  std::unordered_map<ObjectId, std::unique_ptr<KvObject>, ObjectIdHash> kvs_;
+  std::unordered_map<ObjectId, std::unique_ptr<ArrayObject>, ObjectIdHash> arrays_;
+};
+
+}  // namespace nws::daos

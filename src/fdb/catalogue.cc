@@ -1,0 +1,146 @@
+#include "fdb/catalogue.h"
+
+#include <algorithm>
+
+namespace nws::fdb {
+
+namespace {
+constexpr const char* kStoreContainerEntry = "__store_container";
+}
+
+Catalogue::Catalogue(daos::Client& client, FieldIoConfig config)
+    : client_(client), config_(config) {}
+
+sim::Task<Status> Catalogue::init() {
+  if (initialised_) co_return Status::ok();
+  if (config_.mode == Mode::no_index) {
+    co_return Status::error(Errc::unsupported,
+                            "the 'no index' mode keeps no index to catalogue (object ids are "
+                            "md5 sums of field keys)");
+  }
+  (void)co_await client_.pool_connect();
+  main_cont_ = co_await client_.main_cont_open();
+  const daos::ObjectId main_oid =
+      daos::ObjectId::from_digest(md5("nws:main-index"), daos::ObjectType::key_value, config_.kv_class);
+  main_kv_ = co_await client_.kv_open(main_cont_, main_oid);
+  initialised_ = true;
+  co_return Status::ok();
+}
+
+sim::Task<Result<std::vector<FieldEntry>>> Catalogue::fields_of(const std::string& forecast_key,
+                                                                daos::ContHandle index_cont,
+                                                                daos::ContHandle store_cont) {
+  const daos::ObjectId kv_oid = daos::ObjectId::from_digest(
+      md5(forecast_key + ":index-kv"), daos::ObjectType::key_value, config_.kv_class);
+  daos::KvHandle index_kv = co_await client_.kv_open(index_cont, kv_oid);
+
+  std::vector<FieldEntry> fields;
+  for (const std::string& key : co_await client_.kv_list(index_kv)) {
+    if (key == kStoreContainerEntry) continue;
+    auto ref = co_await client_.kv_get(index_kv, key);
+    if (!ref.is_ok()) co_return ref.status();
+    auto oid = oid_from_string(ref.value());
+    if (!oid.is_ok()) co_return oid.status();
+
+    FieldEntry entry;
+    entry.field_key = key;
+    entry.array = oid.value();
+    auto array = co_await client_.array_open(store_cont, entry.array);
+    if (array.is_ok()) {
+      auto handle = array.value();
+      entry.size = co_await client_.array_get_size(handle);
+      co_await client_.array_close(handle);
+    }
+    fields.push_back(std::move(entry));
+  }
+  co_return fields;
+}
+
+sim::Task<Result<std::vector<FieldEntry>>> Catalogue::list_fields(const std::string& forecast_key) {
+  if (!initialised_) throw std::logic_error("Catalogue::list_fields before init()");
+
+  daos::ContHandle index_cont = main_cont_;
+  daos::ContHandle store_cont = main_cont_;
+  if (config_.mode == Mode::full) {
+    auto exists = co_await client_.kv_get(main_kv_, forecast_key);
+    if (!exists.is_ok()) co_return exists.status();
+    auto opened_index = co_await client_.cont_open(daos::Uuid::from_string_md5(forecast_key + ":index"));
+    if (!opened_index.is_ok()) co_return opened_index.status();
+    index_cont = opened_index.value();
+    auto opened_store = co_await client_.cont_open(daos::Uuid::from_string_md5(forecast_key + ":store"));
+    if (!opened_store.is_ok()) co_return opened_store.status();
+    store_cont = opened_store.value();
+  }
+  co_return co_await fields_of(forecast_key, index_cont, store_cont);
+}
+
+sim::Task<Result<std::vector<ForecastEntry>>> Catalogue::list_forecasts() {
+  if (!initialised_) throw std::logic_error("Catalogue::list_forecasts before init()");
+
+  std::vector<ForecastEntry> forecasts;
+  for (const std::string& forecast_key : co_await client_.kv_list(main_kv_)) {
+    auto fields = co_await list_fields(forecast_key);
+    if (!fields.is_ok()) co_return fields.status();
+    ForecastEntry entry;
+    entry.forecast_key = forecast_key;
+    entry.field_count = fields.value().size();
+    for (const FieldEntry& f : fields.value()) entry.total_bytes += f.size;
+    forecasts.push_back(std::move(entry));
+  }
+  co_return forecasts;
+}
+
+sim::Task<Result<Catalogue::PurgeReport>> Catalogue::purge(const std::string& forecast_key) {
+  if (!initialised_) throw std::logic_error("Catalogue::purge before init()");
+
+  // Resolve the store container and the set of referenced array ids.
+  daos::ContHandle store_cont = main_cont_;
+  if (config_.mode == Mode::full) {
+    auto exists = co_await client_.kv_get(main_kv_, forecast_key);
+    if (!exists.is_ok()) co_return exists.status();
+    auto opened = co_await client_.cont_open(daos::Uuid::from_string_md5(forecast_key + ":store"));
+    if (!opened.is_ok()) co_return opened.status();
+    store_cont = opened.value();
+  }
+  auto fields = co_await list_fields(forecast_key);
+  if (!fields.is_ok()) co_return fields.status();
+  std::vector<daos::ObjectId> referenced;
+  referenced.reserve(fields.value().size());
+  for (const FieldEntry& field : fields.value()) referenced.push_back(field.array);
+  std::sort(referenced.begin(), referenced.end());
+
+  // In "no containers" mode the main container also holds other forecasts'
+  // arrays; restrict the sweep to full mode's per-forecast store container,
+  // where every array belongs to this forecast.
+  if (config_.mode != Mode::full) {
+    co_return Status::error(Errc::unsupported,
+                            "purge requires per-forecast store containers (full mode)");
+  }
+
+  PurgeReport report;
+  for (const daos::ObjectId& oid : store_cont.container->list_arrays()) {
+    if (std::binary_search(referenced.begin(), referenced.end(), oid)) continue;
+    auto opened = co_await client_.array_open(store_cont, oid);
+    Bytes size = 0;
+    if (opened.is_ok()) {
+      auto handle = opened.value();
+      size = co_await client_.array_get_size(handle);
+      co_await client_.array_close(handle);
+    }
+    const Status destroyed = co_await client_.array_destroy(store_cont, oid);
+    if (!destroyed.is_ok()) co_return destroyed;
+    ++report.arrays_destroyed;
+    report.bytes_reclaimed += size;
+  }
+  co_return report;
+}
+
+sim::Task<Result<Bytes>> Catalogue::referenced_bytes() {
+  auto forecasts = co_await list_forecasts();
+  if (!forecasts.is_ok()) co_return forecasts.status();
+  Bytes total = 0;
+  for (const ForecastEntry& f : forecasts.value()) total += f.total_bytes;
+  co_return total;
+}
+
+}  // namespace nws::fdb

@@ -1,0 +1,265 @@
+#include "fdb/field_io.h"
+
+#include <cinttypes>
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace nws::fdb {
+
+namespace {
+constexpr const char* kStoreContainerEntry = "__store_container";
+
+daos::Uuid index_container_uuid(const std::string& msk) {
+  return daos::Uuid::from_string_md5(msk + ":index");
+}
+daos::Uuid store_container_uuid(const std::string& msk) {
+  return daos::Uuid::from_string_md5(msk + ":store");
+}
+}  // namespace
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::full: return "full";
+    case Mode::no_containers: return "no containers";
+    case Mode::no_index: return "no index";
+  }
+  return "?";
+}
+
+Mode mode_by_name(const std::string& name) {
+  if (name == "full") return Mode::full;
+  if (name == "no-containers" || name == "no_containers") return Mode::no_containers;
+  if (name == "no-index" || name == "no_index") return Mode::no_index;
+  throw std::invalid_argument("unknown field I/O mode: " + name +
+                              " (expected full, no-containers or no-index)");
+}
+
+std::string oid_to_string(const daos::ObjectId& oid) {
+  return strf("%016" PRIx64 ".%016" PRIx64, oid.hi, oid.lo);
+}
+
+Result<daos::ObjectId> oid_from_string(const std::string& s) {
+  daos::ObjectId oid;
+  if (s.size() != 33 || s[16] != '.' ||
+      std::sscanf(s.c_str(), "%16" SCNx64 ".%16" SCNx64, &oid.hi, &oid.lo) != 2) {
+    return Status::error(Errc::invalid, "malformed object id string: " + s);
+  }
+  return oid;
+}
+
+FieldIo::FieldIo(daos::Client& client, FieldIoConfig config, std::uint32_t rank)
+    : client_(client), config_(config), rank_(rank) {}
+
+sim::Task<Status> FieldIo::init() {
+  if (initialised_) co_return Status::ok();
+  pool_ = co_await client_.pool_connect();
+  main_cont_ = co_await client_.main_cont_open();
+  if (config_.mode != Mode::no_index) {
+    // The main index: one well-known KV in the main container.
+    const daos::ObjectId main_oid =
+        daos::ObjectId::from_digest(md5("nws:main-index"), daos::ObjectType::key_value, config_.kv_class);
+    main_kv_ = co_await client_.kv_open(main_cont_, main_oid);
+  }
+  initialised_ = true;
+  co_return Status::ok();
+}
+
+daos::ObjectId FieldIo::forecast_kv_oid(const std::string& msk) const {
+  return daos::ObjectId::from_digest(md5(msk + ":index-kv"), daos::ObjectType::key_value,
+                                     config_.kv_class);
+}
+
+daos::ObjectId FieldIo::next_array_oid() {
+  return daos::ObjectId::generate(rank_, array_counter_++, daos::ObjectType::array, config_.array_class);
+}
+
+sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_write(const std::string& msk) {
+  const auto cached = forecasts_.find(msk);
+  if (cached != forecasts_.end()) co_return &cached->second;
+
+  ForecastHandles handles;
+
+  if (config_.mode == Mode::no_containers) {
+    // Both layers collapse onto the main container; the main and forecast
+    // index Key-Values remain (only the container indirection is removed).
+    handles.index_cont = main_cont_;
+    handles.store_cont = main_cont_;
+    handles.index_kv = co_await client_.kv_open(main_cont_, forecast_kv_oid(msk));
+    auto indexed = co_await client_.kv_get(main_kv_, msk);
+    if (!indexed.is_ok()) {
+      if (indexed.status().code() != Errc::not_found) co_return indexed.status();
+      const Status registered = co_await client_.kv_put(main_kv_, msk, msk + ":kv");
+      if (!registered.is_ok()) co_return registered;
+    }
+    co_return &forecasts_.emplace(msk, handles).first->second;
+  }
+
+  // Algorithm 1: query the main index for the forecast.
+  auto indexed = co_await client_.kv_get(main_kv_, msk);
+  if (indexed.is_ok()) {
+    const daos::Uuid index_uuid = index_container_uuid(msk);
+    auto index_cont = co_await client_.cont_open(index_uuid);
+    if (!index_cont.is_ok()) co_return index_cont.status();
+    handles.index_cont = index_cont.value();
+    handles.index_kv = co_await client_.kv_open(handles.index_cont, forecast_kv_oid(msk));
+    auto store_ref = co_await client_.kv_get(handles.index_kv, kStoreContainerEntry);
+    if (!store_ref.is_ok()) co_return store_ref.status();
+    auto store_cont = co_await client_.cont_open(daos::Uuid::from_string_md5(store_ref.value()));
+    if (!store_cont.is_ok()) co_return store_cont.status();
+    handles.store_cont = store_cont.value();
+    co_return &forecasts_.emplace(msk, handles).first->second;
+  }
+  if (indexed.status().code() != Errc::not_found) co_return indexed.status();
+
+  // Not indexed yet: create the forecast index and store containers.  Ids
+  // are md5 sums of the most-significant key part, so concurrent creators
+  // collide on already_exists and proceed to open (Section 4).
+  const daos::Uuid index_uuid = index_container_uuid(msk);
+  const daos::Uuid store_uuid = store_container_uuid(msk);
+  for (const daos::Uuid& uuid : {index_uuid, store_uuid}) {
+    const Status created = co_await client_.cont_create(uuid);
+    if (!created.is_ok() && created.code() != Errc::already_exists) co_return created;
+  }
+  auto index_cont = co_await client_.cont_open(index_uuid);
+  if (!index_cont.is_ok()) co_return index_cont.status();
+  handles.index_cont = index_cont.value();
+  auto store_cont = co_await client_.cont_open(store_uuid);
+  if (!store_cont.is_ok()) co_return store_cont.status();
+  handles.store_cont = store_cont.value();
+
+  // Register the store container id in the forecast index KV, then register
+  // the forecast in the main index.
+  handles.index_kv = co_await client_.kv_open(handles.index_cont, forecast_kv_oid(msk));
+  const Status store_reg =
+      co_await client_.kv_put(handles.index_kv, kStoreContainerEntry, msk + ":store");
+  if (!store_reg.is_ok()) co_return store_reg;
+  const Status main_reg = co_await client_.kv_put(main_kv_, msk, msk + ":index");
+  if (!main_reg.is_ok()) co_return main_reg;
+
+  co_return &forecasts_.emplace(msk, handles).first->second;
+}
+
+sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_read(const std::string& msk) {
+  const auto cached = forecasts_.find(msk);
+  if (cached != forecasts_.end()) co_return &cached->second;
+
+  ForecastHandles handles;
+
+  if (config_.mode == Mode::no_containers) {
+    auto indexed = co_await client_.kv_get(main_kv_, msk);
+    if (!indexed.is_ok()) co_return indexed.status();  // unknown forecasts fail
+    handles.index_cont = main_cont_;
+    handles.store_cont = main_cont_;
+    handles.index_kv = co_await client_.kv_open(main_cont_, forecast_kv_oid(msk));
+    co_return &forecasts_.emplace(msk, handles).first->second;
+  }
+
+  // Algorithm 2: unknown forecasts fail.
+  auto indexed = co_await client_.kv_get(main_kv_, msk);
+  if (!indexed.is_ok()) co_return indexed.status();
+
+  auto index_cont = co_await client_.cont_open(index_container_uuid(msk));
+  if (!index_cont.is_ok()) co_return index_cont.status();
+  handles.index_cont = index_cont.value();
+  handles.index_kv = co_await client_.kv_open(handles.index_cont, forecast_kv_oid(msk));
+  auto store_ref = co_await client_.kv_get(handles.index_kv, kStoreContainerEntry);
+  if (!store_ref.is_ok()) co_return store_ref.status();
+  auto store_cont = co_await client_.cont_open(daos::Uuid::from_string_md5(store_ref.value()));
+  if (!store_cont.is_ok()) co_return store_cont.status();
+  handles.store_cont = store_cont.value();
+  co_return &forecasts_.emplace(msk, handles).first->second;
+}
+
+sim::Task<Status> FieldIo::write(const FieldKey& key, const std::uint8_t* data, Bytes len) {
+  if (!initialised_) throw std::logic_error("FieldIo::write before init()");
+  if (len == 0) co_return Status::error(Errc::invalid, "zero-length field");
+
+  if (config_.mode == Mode::no_index) {
+    // Field identifier maps directly to the Array object id; re-writes
+    // overwrite the same Array (contention moves to the Array level).
+    const daos::ObjectId oid =
+        daos::ObjectId::from_digest(md5(key.canonical()), daos::ObjectType::array, config_.array_class);
+    auto arr = co_await client_.array_create(main_cont_, oid, 1, client_.cluster().model().array_chunk_size);
+    daos::ArrayHandle handle;
+    if (arr.is_ok()) {
+      handle = arr.value();
+    } else if (arr.status().code() == Errc::already_exists) {
+      auto opened = co_await client_.array_open(main_cont_, oid);
+      if (!opened.is_ok()) co_return opened.status();
+      handle = opened.value();
+    } else {
+      co_return arr.status();
+    }
+    const Status written = co_await client_.array_write(handle, 0, data, len);
+    co_await client_.array_close(handle);
+    if (!written.is_ok()) co_return written;
+    ++stats_.fields_written;
+    stats_.bytes_written += len;
+    co_return Status::ok();
+  }
+
+  auto forecast = co_await resolve_forecast_for_write(key.most_significant());
+  if (!forecast.is_ok()) co_return forecast.status();
+  ForecastHandles& handles = *forecast.value();
+
+  // Write the field into a new Array in the forecast store container...
+  const daos::ObjectId oid = next_array_oid();
+  auto arr =
+      co_await client_.array_create(handles.store_cont, oid, 1, client_.cluster().model().array_chunk_size);
+  if (!arr.is_ok()) co_return arr.status();
+  auto handle = arr.value();
+  const Status written = co_await client_.array_write(handle, 0, data, len);
+  co_await client_.array_close(handle);
+  if (!written.is_ok()) co_return written;
+
+  // ...then index it (replacing any previous reference: the old Array is
+  // de-referenced, never deleted).
+  const Status indexed = co_await client_.kv_put(handles.index_kv, key.least_significant(),
+                                                 oid_to_string(oid));
+  if (!indexed.is_ok()) co_return indexed;
+
+  ++stats_.fields_written;
+  stats_.bytes_written += len;
+  co_return Status::ok();
+}
+
+sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, Bytes out_len) {
+  if (!initialised_) throw std::logic_error("FieldIo::read before init()");
+
+  if (config_.mode == Mode::no_index) {
+    const daos::ObjectId oid =
+        daos::ObjectId::from_digest(md5(key.canonical()), daos::ObjectType::array, config_.array_class);
+    auto opened = co_await client_.array_open(main_cont_, oid);
+    if (!opened.is_ok()) co_return opened.status();
+    auto handle = opened.value();
+    auto n = co_await client_.array_read(handle, 0, out, out_len);
+    co_await client_.array_close(handle);
+    if (!n.is_ok()) co_return n.status();
+    ++stats_.fields_read;
+    stats_.bytes_read += n.value();
+    co_return n.value();
+  }
+
+  auto forecast = co_await resolve_forecast_for_read(key.most_significant());
+  if (!forecast.is_ok()) co_return forecast.status();
+  ForecastHandles& handles = *forecast.value();
+
+  auto ref = co_await client_.kv_get(handles.index_kv, key.least_significant());
+  if (!ref.is_ok()) co_return ref.status();
+  auto oid = oid_from_string(ref.value());
+  if (!oid.is_ok()) co_return oid.status();
+
+  auto opened = co_await client_.array_open(handles.store_cont, oid.value());
+  if (!opened.is_ok()) co_return opened.status();
+  auto handle = opened.value();
+  auto n = co_await client_.array_read(handle, 0, out, out_len);
+  co_await client_.array_close(handle);
+  if (!n.is_ok()) co_return n.status();
+
+  ++stats_.fields_read;
+  stats_.bytes_read += n.value();
+  co_return n.value();
+}
+
+}  // namespace nws::fdb

@@ -1,0 +1,121 @@
+// Weather-field I/O over DAOS — the paper's Algorithms 1 and 2.
+//
+// The layout mirrors ECMWF's FDB5 design (paper Section 4, Fig. 2):
+//
+//   main container ── main Key-Value:   most-significant key part
+//                                        -> forecast index container uuid
+//   forecast index container ── forecast Key-Value:
+//                                        least-significant key part
+//                                        -> array object id
+//                                        (+ "__store_container" special entry
+//                                           -> forecast store container uuid)
+//   forecast store container ── one DAOS Array per stored field.
+//
+// Container uuids are md5 sums of the most-significant key part, so
+// concurrent creators of the same forecast collide on the same ids instead
+// of producing inaccessible containers.  A re-written field gets a *new*
+// Array; the old one is de-referenced but never deleted (Section 4).
+//
+// Three modes (paper Section 5.2):
+//   full          — the full algorithm above.
+//   no_containers — same Key-Values and Arrays, all in the main container.
+//   no_index      — no Key-Values at all: the field key's md5 maps directly
+//                   to the Array object id (re-writes therefore overwrite
+//                   the same Array, moving the contention to the Array).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "daos/client.h"
+#include "fdb/field_key.h"
+#include "sim/task.h"
+
+namespace nws::fdb {
+
+enum class Mode {
+  full,
+  no_containers,
+  no_index,
+};
+
+const char* mode_name(Mode mode);
+Mode mode_by_name(const std::string& name);
+
+struct FieldIoConfig {
+  Mode mode = Mode::full;
+  /// Paper 6.3.1: Key-Values striped across all targets...
+  daos::ObjectClass kv_class = daos::ObjectClass::SX;
+  /// ...and Arrays unstriped (Fig. 6 explores alternatives).
+  daos::ObjectClass array_class = daos::ObjectClass::S1;
+};
+
+struct FieldIoStats {
+  std::uint64_t fields_written = 0;
+  std::uint64_t fields_read = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+};
+
+/// Per-process field reader/writer.  Pool and container connections are
+/// cached, as in the paper's benchmark ("Pool and container connections in a
+/// process are cached", Section 5.2).
+class FieldIo {
+ public:
+  /// `rank` must be unique across all processes of a workload: it namespaces
+  /// the Array object ids this writer allocates.
+  FieldIo(daos::Client& client, FieldIoConfig config, std::uint32_t rank);
+
+  /// Connects to the pool and opens the main container and main index.
+  sim::Task<Status> init();
+
+  /// Algorithm 1: stores `len` bytes under `key`.  In digest payload mode
+  /// `data` may be null.
+  sim::Task<Status> write(const FieldKey& key, const std::uint8_t* data, Bytes len);
+
+  /// Algorithm 2: retrieves the field stored under `key` into `out`
+  /// (capacity `out_len`; null allowed in digest mode).  Returns the field
+  /// size, or not_found.
+  sim::Task<Result<Bytes>> read(const FieldKey& key, std::uint8_t* out, Bytes out_len);
+
+  [[nodiscard]] const FieldIoStats& stats() const { return stats_; }
+  [[nodiscard]] const FieldIoConfig& config() const { return config_; }
+
+ private:
+  struct ForecastHandles {
+    daos::ContHandle index_cont;
+    daos::ContHandle store_cont;
+    daos::KvHandle index_kv;
+  };
+
+  /// Write path of Algorithm 1 before the array store: resolves (creating if
+  /// needed) the forecast's containers and index KV.
+  sim::Task<Result<ForecastHandles*>> resolve_forecast_for_write(const std::string& msk);
+  /// Read path of Algorithm 2: resolves via the main index only; fails with
+  /// not_found for unknown forecasts.
+  sim::Task<Result<ForecastHandles*>> resolve_forecast_for_read(const std::string& msk);
+
+  [[nodiscard]] daos::ObjectId forecast_kv_oid(const std::string& msk) const;
+  [[nodiscard]] daos::ObjectId next_array_oid();
+
+  daos::Client& client_;
+  FieldIoConfig config_;
+  std::uint32_t rank_;
+  std::uint64_t array_counter_ = 0;
+
+  bool initialised_ = false;
+  daos::PoolHandle pool_;
+  daos::ContHandle main_cont_;
+  daos::KvHandle main_kv_;
+  std::unordered_map<std::string, ForecastHandles> forecasts_;  // connection cache
+
+  FieldIoStats stats_;
+};
+
+/// Serialisation helpers for object ids stored as KV values.
+std::string oid_to_string(const daos::ObjectId& oid);
+Result<daos::ObjectId> oid_from_string(const std::string& s);
+
+}  // namespace nws::fdb

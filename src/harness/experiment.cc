@@ -1,0 +1,90 @@
+#include "harness/experiment.h"
+
+namespace nws::bench {
+
+RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
+                         const std::function<RunOutcome(std::uint64_t seed)>& run) {
+  RepetitionSummary summary;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const RunOutcome outcome = run(base_seed + 1000003ull * (r + 1));
+    if (outcome.failed) {
+      summary.any_failed = true;
+      summary.failure = outcome.failure;
+      continue;
+    }
+    summary.write.add(outcome.write_bw);
+    summary.read.add(outcome.read_bw);
+  }
+  return summary;
+}
+
+RunOutcome run_ior_once(daos::ClusterConfig cfg, const ior::IorParams& params, std::uint64_t seed) {
+  cfg.seed = seed;
+  sim::Scheduler sched;
+  daos::Cluster cluster(sched, cfg);
+  const ior::IorResult result = ior::run_ior(cluster, params);
+  RunOutcome outcome;
+  outcome.failed = result.failed;
+  outcome.failure = result.failure;
+  if (!result.failed) {
+    outcome.write_bw = to_gib_per_sec(result.write_log.synchronous_bandwidth());
+    outcome.read_bw = to_gib_per_sec(result.read_log.synchronous_bandwidth());
+  }
+  return outcome;
+}
+
+RunOutcome run_field_once(daos::ClusterConfig cfg, const FieldBenchParams& params, char pattern,
+                          std::uint64_t seed) {
+  cfg.seed = seed;
+  sim::Scheduler sched;
+  daos::Cluster cluster(sched, cfg);
+  const FieldBenchResult result = pattern == 'B' ? run_field_pattern_b(cluster, params)
+                                                 : run_field_pattern_a(cluster, params);
+  RunOutcome outcome;
+  outcome.failed = result.failed;
+  outcome.failure = result.failure;
+  if (!result.failed) {
+    outcome.write_bw =
+        result.write_log.empty() ? 0.0 : to_gib_per_sec(result.write_log.global_timing_bandwidth());
+    outcome.read_bw =
+        result.read_log.empty() ? 0.0 : to_gib_per_sec(result.read_log.global_timing_bandwidth());
+  }
+  return outcome;
+}
+
+BestOfPpn best_over_ppn(const std::vector<std::size_t>& ppn_candidates, std::size_t reps,
+                        std::uint64_t base_seed,
+                        const std::function<RunOutcome(std::size_t ppn, std::uint64_t seed)>& run) {
+  BestOfPpn best;
+  double best_score = -1.0;
+  for (const std::size_t ppn : ppn_candidates) {
+    const RepetitionSummary summary =
+        repeat(reps, base_seed ^ (0x51ed2700ull * ppn), [&](std::uint64_t seed) { return run(ppn, seed); });
+    if (summary.any_failed && summary.write.empty() && summary.read.empty()) continue;
+    const double score = summary.mean_aggregate();
+    if (score > best_score) {
+      best_score = score;
+      best.ppn = ppn;
+      best.summary = summary;
+    }
+  }
+  return best;
+}
+
+daos::ClusterConfig testbed_config(std::size_t server_nodes, std::size_t client_nodes,
+                                   const std::string& provider_name) {
+  daos::ClusterConfig cfg;
+  cfg.server_nodes = server_nodes;
+  cfg.client_nodes = client_nodes;
+  cfg.provider = net::provider_by_name(provider_name);
+  if (provider_name == "psm2") {
+    // Paper 6.4: PSM2 runs used a single engine per server node and one
+    // socket per client node.
+    cfg.engines_per_server = 1;
+    cfg.client_sockets_in_use = 1;
+  }
+  cfg.payload_mode = daos::PayloadMode::digest;
+  return cfg;
+}
+
+}  // namespace nws::bench

@@ -1,0 +1,74 @@
+// Experiment runner: repetitions, parameter sweeps and best-configuration
+// search over fresh simulated clusters.
+//
+// The paper's methodology (Sections 6.2-6.3): each configuration is repeated
+// several times; bandwidths are reported either as the maximum across
+// repetitions (Table 1) or the mean for the best-performing process count
+// per client node (Fig. 3-6).  Every repetition runs on a freshly built
+// cluster with a repetition-specific seed, as the real runs re-created pools
+// between executions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "daos/cluster.h"
+#include "harness/field_bench.h"
+#include "ior/ior.h"
+
+namespace nws::bench {
+
+/// Bandwidths of one workload execution, GiB/s.
+struct RunOutcome {
+  double write_bw = 0.0;
+  double read_bw = 0.0;
+  bool failed = false;
+  std::string failure;
+};
+
+/// Repetition summary for a configuration.
+struct RepetitionSummary {
+  Summary write;       // GiB/s per repetition
+  Summary read;        // GiB/s per repetition
+  bool any_failed = false;
+  std::string failure;
+
+  [[nodiscard]] double mean_aggregate() const {
+    return (write.empty() ? 0.0 : write.mean()) + (read.empty() ? 0.0 : read.mean());
+  }
+};
+
+/// Runs `reps` repetitions of `run` (a callable taking the repetition seed
+/// and returning a RunOutcome) and summarises.
+RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
+                         const std::function<RunOutcome(std::uint64_t seed)>& run);
+
+/// Executes IOR (pattern A, synchronous-bandwidth metric) on a fresh
+/// cluster built from `cfg` with the given seed.
+RunOutcome run_ior_once(daos::ClusterConfig cfg, const ior::IorParams& params, std::uint64_t seed);
+
+/// Executes the Field I/O benchmark (global-timing metric) on a fresh
+/// cluster; `pattern` is 'A' or 'B'.
+RunOutcome run_field_once(daos::ClusterConfig cfg, const FieldBenchParams& params, char pattern,
+                          std::uint64_t seed);
+
+/// Runs `reps` repetitions for every candidate processes-per-node value and
+/// returns the summary of the best-performing one (by mean write+read), with
+/// the chosen ppn — the paper's "best performing number of client processes
+/// per client node" reporting.
+struct BestOfPpn {
+  std::size_t ppn = 0;
+  RepetitionSummary summary;
+};
+
+BestOfPpn best_over_ppn(const std::vector<std::size_t>& ppn_candidates, std::size_t reps,
+                        std::uint64_t base_seed,
+                        const std::function<RunOutcome(std::size_t ppn, std::uint64_t seed)>& run);
+
+/// A standard NEXTGenIO-like cluster config for the given node counts.
+daos::ClusterConfig testbed_config(std::size_t server_nodes, std::size_t client_nodes,
+                                   const std::string& provider_name = "tcp");
+
+}  // namespace nws::bench

@@ -1,0 +1,243 @@
+#include "harness/field_bench.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/sync.h"
+
+namespace nws::bench {
+
+namespace {
+
+struct Shared {
+  Shared(sim::Scheduler& sched, std::size_t writers, std::size_t readers)
+      : writers_done(sched, writers == 0 ? 1 : writers),
+        readers_done(sched, readers == 0 ? 1 : readers),
+        read_gate(sched) {}
+  sim::CountDownLatch writers_done;
+  sim::CountDownLatch readers_done;
+  sim::Gate read_gate;
+  bool failed = false;
+  std::string failure;
+
+  void fail(const std::string& why) {
+    if (!failed) {
+      failed = true;
+      failure = why;
+    }
+  }
+};
+
+sim::Duration startup_skew(daos::Cluster& cluster, std::uint64_t salt) {
+  Rng rng = cluster.fork_rng(0xbadc0ffeull ^ salt);
+  return sim::seconds(rng.uniform(0.0, cluster.model().startup_skew_max_seconds));
+}
+
+}  // namespace
+
+fdb::FieldKey bench_field_key(const FieldBenchParams& params, std::uint32_t global_rank,
+                              std::uint32_t op, bool designated) {
+  fdb::FieldKey key;
+  // Forecast (most-significant) part: one shared forecast under high
+  // contention, one forecast per process otherwise.
+  key.set("class", "od").set("stream", "oper").set("expver", "0001").set("date", "20201224");
+  key.set("time", params.shared_forecast_index ? "0000" : std::to_string(global_rank));
+  // Field (least-significant) part: distinct per (process, op); pattern B's
+  // designated fields fix the op component.
+  key.set("param", "t");
+  key.set("level", std::to_string(global_rank));
+  key.set("step", designated ? "0" : std::to_string(op));
+  return key;
+}
+
+namespace {
+
+sim::Task<void> pattern_a_writer(daos::Cluster& cluster, const FieldBenchParams params, Shared& shared,
+                                 IoLog& log, std::uint32_t node, std::uint32_t proc,
+                                 std::uint32_t global_rank) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x10000u + global_rank);
+  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIo io(client, cfg, global_rank);
+  co_await cluster.scheduler().delay(startup_skew(cluster, global_rank));
+  (co_await io.init()).expect_ok("FieldIo::init");
+
+  for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    const fdb::FieldKey key = bench_field_key(params, global_rank, op, /*designated=*/false);
+    const sim::TimePoint start = cluster.scheduler().now();
+    const Status st = co_await io.write(key, nullptr, params.field_size);
+    if (!st.is_ok()) {
+      shared.fail("write failed: " + st.to_string());
+      break;
+    }
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+  }
+  shared.writers_done.count_down();
+}
+
+sim::Task<void> pattern_a_reader(daos::Cluster& cluster, const FieldBenchParams params, Shared& shared,
+                                 IoLog& log, std::uint32_t node, std::uint32_t proc,
+                                 std::uint32_t global_rank) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x20000u + global_rank);
+  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIo io(client, cfg, 0x8000u + global_rank);
+  // Second phase begins only "once all writer processes on all nodes have
+  // terminated".
+  co_await shared.read_gate.wait();
+  co_await cluster.scheduler().delay(startup_skew(cluster, 0x9000u + global_rank));
+  (co_await io.init()).expect_ok("FieldIo::init");
+
+  for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    const fdb::FieldKey key = bench_field_key(params, global_rank, op, /*designated=*/false);
+    const sim::TimePoint start = cluster.scheduler().now();
+    auto n = co_await io.read(key, nullptr, params.field_size);
+    if (!n.is_ok() || n.value() != params.field_size) {
+      shared.fail("read failed: " + (n.is_ok() ? std::string("short read") : n.status().to_string()));
+      break;
+    }
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+  }
+  shared.readers_done.count_down();
+}
+
+sim::Task<void> pattern_a_conductor(Shared& shared) {
+  co_await shared.writers_done.wait();
+  shared.read_gate.open();
+}
+
+}  // namespace
+
+FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchParams& params) {
+  FieldBenchResult result;
+  const std::size_t nodes = cluster.config().client_nodes;
+  const std::size_t ppn = params.processes_per_node;
+  const std::size_t procs = nodes * ppn;
+
+  Shared shared(cluster.scheduler(), procs, procs);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (std::uint32_t p = 0; p < ppn; ++p) {
+      const auto rank = static_cast<std::uint32_t>(n * ppn + p);
+      cluster.scheduler().spawn(
+          pattern_a_writer(cluster, params, shared, result.write_log, n, p, rank));
+      cluster.scheduler().spawn(
+          pattern_a_reader(cluster, params, shared, result.read_log, n, p, rank));
+    }
+  }
+  cluster.scheduler().spawn(pattern_a_conductor(shared));
+  cluster.scheduler().run();
+
+  result.failed = shared.failed;
+  result.failure = shared.failure;
+  return result;
+}
+
+namespace {
+
+sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams params, Shared& shared,
+                                 IoLog& log, std::uint32_t node, std::uint32_t proc,
+                                 std::uint32_t global_rank) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x30000u + global_rank);
+  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIo io(client, cfg, global_rank);
+  co_await cluster.scheduler().delay(startup_skew(cluster, 0xa000u + global_rank));
+  (co_await io.init()).expect_ok("FieldIo::init");
+
+  const fdb::FieldKey key = bench_field_key(params, global_rank, 0, /*designated=*/true);
+
+  // Setup phase: populate the designated field once.
+  {
+    const Status st = co_await io.write(key, nullptr, params.field_size);
+    if (!st.is_ok()) shared.fail("setup write failed: " + st.to_string());
+    shared.writers_done.count_down();
+  }
+  // Main phase starts once ALL setup writes have completed.
+  co_await shared.read_gate.wait();
+  if (shared.failed) co_return;
+
+  for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    const sim::TimePoint start = cluster.scheduler().now();
+    const Status st = co_await io.write(key, nullptr, params.field_size);
+    if (!st.is_ok()) {
+      shared.fail("re-write failed: " + st.to_string());
+      break;
+    }
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+  }
+}
+
+sim::Task<void> pattern_b_reader(daos::Cluster& cluster, const FieldBenchParams params, Shared& shared,
+                                 IoLog& log, std::uint32_t node, std::uint32_t proc,
+                                 std::uint32_t writer_rank, std::uint32_t reader_index) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x40000u + reader_index);
+  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIo io(client, cfg, 0xC000u + reader_index);
+  co_await shared.read_gate.wait();
+  if (shared.failed) co_return;
+  co_await cluster.scheduler().delay(startup_skew(cluster, 0xb000u + reader_index));
+  (co_await io.init()).expect_ok("FieldIo::init");
+
+  // Reads the field designated to the paired writer.
+  const fdb::FieldKey key = bench_field_key(params, writer_rank, 0, /*designated=*/true);
+
+  for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    const sim::TimePoint start = cluster.scheduler().now();
+    auto n = co_await io.read(key, nullptr, params.field_size);
+    if (!n.is_ok() || n.value() != params.field_size) {
+      shared.fail("read failed: " + (n.is_ok() ? std::string("short read") : n.status().to_string()));
+      break;
+    }
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+  }
+}
+
+sim::Task<void> pattern_b_conductor(Shared& shared) {
+  co_await shared.writers_done.wait();
+  shared.read_gate.open();
+}
+
+}  // namespace
+
+FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchParams& params) {
+  FieldBenchResult result;
+  const std::size_t nodes = cluster.config().client_nodes;
+  const std::size_t ppn = params.processes_per_node;
+  // First half of the client nodes write, second half read.  With a single
+  // client node, the node's processes are split instead.
+  const std::size_t writer_nodes = nodes >= 2 ? nodes / 2 : 1;
+  const std::size_t writer_procs = nodes >= 2 ? writer_nodes * ppn : std::max<std::size_t>(ppn / 2, 1);
+
+  Shared shared(cluster.scheduler(), writer_procs, writer_procs);
+  std::uint32_t writer_rank = 0;
+  std::uint32_t reader_index = 0;
+  std::vector<std::uint32_t> writer_ranks;
+  // Writers.
+  for (std::uint32_t n = 0; n < writer_nodes; ++n) {
+    const std::size_t count = nodes >= 2 ? ppn : writer_procs;
+    for (std::uint32_t p = 0; p < count; ++p) {
+      cluster.scheduler().spawn(
+          pattern_b_writer(cluster, params, shared, result.write_log, n, p, writer_rank));
+      writer_ranks.push_back(writer_rank);
+      ++writer_rank;
+    }
+  }
+  // Readers: same population, on the remaining nodes (or remaining procs of
+  // the single node), each paired with a writer's designated field.
+  const std::uint32_t first_reader_node = nodes >= 2 ? static_cast<std::uint32_t>(writer_nodes) : 0;
+  for (std::uint32_t n = first_reader_node; n < nodes; ++n) {
+    const std::size_t base = nodes >= 2 ? 0 : writer_procs;
+    const std::size_t count = nodes >= 2 ? ppn : writer_procs;
+    for (std::uint32_t p = 0; p < count && reader_index < writer_ranks.size(); ++p) {
+      cluster.scheduler().spawn(pattern_b_reader(cluster, params, shared, result.read_log, n,
+                                                 static_cast<std::uint32_t>(base + p),
+                                                 writer_ranks[reader_index], reader_index));
+      ++reader_index;
+    }
+  }
+  cluster.scheduler().spawn(pattern_b_conductor(shared));
+  cluster.scheduler().run();
+
+  result.failed = shared.failed;
+  result.failure = shared.failure;
+  return result;
+}
+
+}  // namespace nws::bench

@@ -1,0 +1,73 @@
+// The Field I/O benchmark (paper Sections 5.2-5.3).
+//
+// Parallel processes each perform a sequence of field I/O operations with
+// the FieldIo functions, *without* synchronisation: no barriers, no enforced
+// start alignment (a small random start-up skew models launch jitter), and
+// no intermediate processing.  Pool/container connections are cached in
+// FieldIo.
+//
+// Contention modes:
+//   * low contention (default) — each process writes/reads fields of its
+//     own forecast, so it owns its forecast index Key-Value;
+//   * high contention (shared_forecast_index) — all processes share a single
+//     forecast, hence a single forecast index Key-Value.
+//
+// Access patterns:
+//   * A (unique writes then unique reads): every process writes its own set
+//     of new fields; after ALL writers terminate, an equivalent process set
+//     reads the corresponding fields back.
+//   * B (repeated writes while repeated reads): a setup phase has half the
+//     processes write one field each; in the main phase that half re-writes
+//     its designated fields repeatedly while the other half simultaneously
+//     reads the same designated fields.  This mirrors simultaneous model
+//     output and product generation — the write and read bandwidths should
+//     be *aggregated* to compare against pattern A.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "daos/cluster.h"
+#include "fdb/field_io.h"
+#include "harness/io_log.h"
+
+namespace nws::bench {
+
+struct FieldBenchParams {
+  fdb::Mode mode = fdb::Mode::full;
+  bool shared_forecast_index = false;  // high contention when true
+  std::uint32_t ops_per_process = 100;
+  Bytes field_size = 1_MiB;
+  std::size_t processes_per_node = 24;
+  daos::ObjectClass kv_class = daos::ObjectClass::SX;
+  daos::ObjectClass array_class = daos::ObjectClass::S1;
+};
+
+struct FieldBenchResult {
+  IoLog write_log;
+  IoLog read_log;
+  bool failed = false;
+  std::string failure;
+
+  [[nodiscard]] double aggregated_global_bandwidth() const {
+    double bw = 0.0;
+    if (!write_log.empty()) bw += write_log.global_timing_bandwidth();
+    if (!read_log.empty()) bw += read_log.global_timing_bandwidth();
+    return bw;
+  }
+};
+
+/// Access pattern A on `cluster` (uses all its client nodes).
+FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchParams& params);
+
+/// Access pattern B on `cluster`.  Requires at least 2 client processes;
+/// the first half of the client nodes write, the second half read (paper:
+/// "half of the client processes (and thereby half the client nodes)").
+FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchParams& params);
+
+/// The field key a given (process, op) uses, exposed for tests: forecast
+/// part per process (or shared), field part per (process, op).
+fdb::FieldKey bench_field_key(const FieldBenchParams& params, std::uint32_t global_rank,
+                              std::uint32_t op, bool designated);
+
+}  // namespace nws::bench

@@ -1,0 +1,151 @@
+#include "ior/ior.h"
+
+#include <memory>
+
+#include "daos/client.h"
+#include "sim/sync.h"
+
+namespace nws::ior {
+
+namespace {
+
+struct RunState {
+  explicit RunState(sim::Scheduler& sched, std::size_t procs)
+      : initial(sched, procs), pre_io(sched, procs), post_io(sched, procs), finish(sched, procs) {}
+  sim::Barrier initial;
+  sim::Barrier pre_io;
+  sim::Barrier post_io;
+  sim::Barrier finish;
+  bool failed = false;
+  std::string failure;
+};
+
+daos::ObjectId object_for(std::uint32_t node, std::uint32_t proc, std::uint32_t iteration,
+                          daos::ObjectClass oclass) {
+  // File-per-process: every (node, proc, iteration) owns a distinct Array.
+  return daos::ObjectId::generate((node << 16) | proc, iteration + 1, daos::ObjectType::array, oclass);
+}
+
+sim::Task<void> ior_process(daos::Cluster& cluster, const IorParams params, RunState& state,
+                            bench::IoLog& log, std::uint32_t node, std::uint32_t proc, bool is_write) {
+  daos::Client client(cluster, cluster.client_endpoint(node, proc),
+                      (static_cast<std::uint64_t>(is_write) << 32) | (node << 16) | proc);
+  daos::ContHandle cont = co_await client.main_cont_open();
+
+  // a) initial barrier.
+  co_await state.initial.arrive_and_wait();
+
+  auto fail = [&state](const std::string& why) {
+    if (!state.failed) {
+      state.failed = true;
+      state.failure = why;
+    }
+  };
+
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    // b) pre-I/O barrier: all processes start the I/O phase together.
+    co_await state.pre_io.arrive_and_wait();
+    const sim::TimePoint io_start = cluster.scheduler().now();
+
+    // A failed run keeps every process flowing through the barriers so the
+    // collective does not deadlock (as MPI-based IOR would abort together).
+    bool ok = !state.failed;
+    if (ok) {
+      const daos::ObjectId oid = object_for(node, proc, iter, params.object_class);
+      daos::ArrayHandle handle;
+      if (is_write) {
+        // c) create the object sized t*s.
+        auto created = co_await client.array_create(cont, oid, 1, cluster.model().array_chunk_size);
+        if (created.is_ok()) {
+          handle = created.value();
+          // d) the transfer(s): one full-size transfer in single_shot, one
+          // per data part in per_segment.
+          if (params.scheme == TransferScheme::single_shot) {
+            const Status written = co_await client.array_write(handle, 0, nullptr, params.object_size());
+            if (!written.is_ok()) {
+              fail(written.to_string());
+              ok = false;
+            }
+          } else {
+            for (std::uint32_t seg = 0; seg < params.segments && ok; ++seg) {
+              const Status written = co_await client.array_write(
+                  handle, Bytes{seg} * params.transfer_size, nullptr, params.transfer_size);
+              if (!written.is_ok()) {
+                fail(written.to_string());
+                ok = false;
+              }
+            }
+          }
+        } else {
+          fail(created.status().to_string());
+          ok = false;
+        }
+      } else {
+        auto opened = co_await client.array_open(cont, oid);
+        if (opened.is_ok()) {
+          handle = opened.value();
+          if (params.scheme == TransferScheme::single_shot) {
+            auto n = co_await client.array_read(handle, 0, nullptr, params.object_size());
+            if (!n.is_ok() || n.value() != params.object_size()) {
+              fail(n.is_ok() ? "short read" : n.status().to_string());
+              ok = false;
+            }
+          } else {
+            for (std::uint32_t seg = 0; seg < params.segments && ok; ++seg) {
+              auto n = co_await client.array_read(handle, Bytes{seg} * params.transfer_size, nullptr,
+                                                  params.transfer_size);
+              if (!n.is_ok() || n.value() != params.transfer_size) {
+                fail(n.is_ok() ? "short read" : n.status().to_string());
+                ok = false;
+              }
+            }
+          }
+        } else {
+          fail(opened.status().to_string());
+          ok = false;
+        }
+      }
+      // e) close.
+      if (handle.valid()) co_await client.array_close(handle);
+    }
+    const sim::TimePoint io_end = cluster.scheduler().now();
+
+    // f) post-I/O barrier, g) logging.
+    co_await state.post_io.arrive_and_wait();
+    if (ok) log.record(node, proc, iter, io_start, io_end, params.object_size());
+    // h) final barrier.
+    co_await state.finish.arrive_and_wait();
+  }
+}
+
+void run_phase(daos::Cluster& cluster, const IorParams& params, bench::IoLog& log, bool is_write,
+               bool& failed, std::string& failure) {
+  const std::size_t nodes = cluster.config().client_nodes;
+  const std::size_t procs = nodes * params.processes_per_node;
+  RunState state(cluster.scheduler(), procs);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (std::uint32_t p = 0; p < params.processes_per_node; ++p) {
+      cluster.scheduler().spawn(ior_process(cluster, params, state, log, n, p, is_write));
+    }
+  }
+  cluster.scheduler().run();
+  if (state.failed) {
+    failed = true;
+    failure = state.failure;
+  }
+}
+
+}  // namespace
+
+IorResult run_ior(daos::Cluster& cluster, const IorParams& params) {
+  IorResult result;
+  // Access pattern A: write phase, full join (the scheduler run drains), then
+  // an equivalent process set performs the read phase.
+  run_phase(cluster, params, result.write_log, /*is_write=*/true, result.failed, result.failure);
+  if (!result.failed) {
+    run_phase(cluster, params, result.read_log, /*is_write=*/false, result.failed, result.failure);
+  }
+  return result;
+}
+
+}  // namespace nws::ior

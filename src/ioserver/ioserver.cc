@@ -1,0 +1,187 @@
+#include "ioserver/ioserver.h"
+
+#include <deque>
+
+#include "common/table.h"
+
+namespace nws::ioserver {
+
+namespace {
+
+/// One field being assembled on an I/O server.
+struct PendingField {
+  std::uint32_t step = 0;
+  std::uint32_t index = 0;  // field number within the step
+  std::size_t parts_expected = 0;
+  std::size_t parts_received = 0;
+  Bytes bytes = 0;
+};
+
+/// Per-server inbox: model processes deliver parts; the server coroutine
+/// assembles fields and stores complete ones.
+struct ServerState {
+  explicit ServerState(sim::Scheduler& sched) : wakeup(sched) {}
+  std::vector<PendingField> assembling;
+  std::deque<std::size_t> ready;  // indices into `assembling`
+  sim::Gate wakeup;
+  bool producers_done = false;
+  std::size_t outstanding = 0;  // fields not yet stored
+};
+
+struct PipelineState {
+  PipelineState(sim::Scheduler& sched, std::size_t servers, std::size_t producers)
+      : producers_remaining(sched, producers) {
+    for (std::size_t i = 0; i < servers; ++i) {
+      server_states.push_back(std::make_unique<ServerState>(sched));
+    }
+  }
+  std::vector<std::unique_ptr<ServerState>> server_states;
+  sim::CountDownLatch producers_remaining;
+  PipelineResult result;
+};
+
+fdb::FieldKey pipeline_key(std::uint32_t step, std::uint32_t field) {
+  fdb::FieldKey key;
+  key.set("class", "od").set("stream", "oper").set("date", "20260705").set("time", "0000");
+  key.set("step", std::to_string(step));
+  key.set("param", std::to_string(field));
+  return key;
+}
+
+std::size_t server_for_field(std::uint32_t step, std::uint32_t field, std::size_t servers) {
+  return (static_cast<std::size_t>(step) * 131 + field) % servers;
+}
+
+/// A model process: for every field of every step, sends its grid slice to
+/// the field's designated I/O server over the fabric.
+sim::Task<void> model_process(daos::Cluster& cluster, const PipelineConfig cfg, PipelineState& state,
+                              std::size_t rank) {
+  // Model processes occupy client-node process slots above the I/O servers.
+  const std::size_t nodes = cluster.config().client_nodes;
+  const net::Endpoint self =
+      cluster.client_endpoint((cfg.io_servers + rank) % nodes, (cfg.io_servers + rank) / nodes);
+  const Bytes part = cfg.field_size / cfg.model_processes;
+
+  for (std::uint32_t step = 0; step < cfg.steps; ++step) {
+    for (std::uint32_t f = 0; f < cfg.fields_per_step; ++f) {
+      const std::size_t server_index = server_for_field(step, f, cfg.io_servers);
+      const net::Endpoint server =
+          cluster.client_endpoint(server_index % nodes, server_index / nodes);
+      // Low-latency interconnect transfer of this process's slice.
+      auto path = cluster.topology().path(self, server);
+      co_await cluster.flows().transfer(std::move(path), part,
+                                        cluster.config().provider.stream_rate_cap(part));
+
+      // Deliver the part into the server's inbox.
+      ServerState& inbox = *state.server_states[server_index];
+      PendingField* pending = nullptr;
+      for (auto& candidate : inbox.assembling) {
+        if (candidate.step == step && candidate.index == f) {
+          pending = &candidate;
+          break;
+        }
+      }
+      if (pending == nullptr) {
+        inbox.assembling.push_back(PendingField{step, f, cfg.model_processes, 0, 0});
+        pending = &inbox.assembling.back();
+        ++inbox.outstanding;
+      }
+      ++pending->parts_received;
+      pending->bytes += part;
+      ++state.result.parts_received;
+      if (pending->parts_received == pending->parts_expected) {
+        inbox.ready.push_back(static_cast<std::size_t>(pending - inbox.assembling.data()));
+        inbox.wakeup.open();
+      }
+    }
+  }
+  state.producers_remaining.count_down();
+}
+
+/// An I/O server: assembles fields, encodes them, stores them via FieldIo.
+sim::Task<void> io_server(daos::Cluster& cluster, const PipelineConfig cfg, PipelineState& state,
+                          std::size_t index) {
+  const std::size_t nodes = cluster.config().client_nodes;
+  daos::Client client(cluster, cluster.client_endpoint(index % nodes, index / nodes),
+                      0x5000u + index);
+  fdb::FieldIoConfig fcfg;
+  fcfg.mode = cfg.mode;
+  fcfg.array_class = cfg.array_class;
+  fdb::FieldIo io(client, fcfg, static_cast<std::uint32_t>(0x5000u + index));
+  (co_await io.init()).expect_ok("io server init");
+
+  ServerState& inbox = *state.server_states[index];
+  while (true) {
+    if (inbox.ready.empty()) {
+      if (inbox.producers_done && inbox.outstanding == 0) break;
+      inbox.wakeup.close();
+      co_await inbox.wakeup.wait();
+      continue;
+    }
+    const std::size_t slot = inbox.ready.front();
+    inbox.ready.pop_front();
+    const PendingField field = inbox.assembling[slot];
+
+    // GRIB encoding cost (CPU-bound on the server process).
+    co_await cluster.scheduler().delay(
+        sim::transfer_time(static_cast<double>(field.bytes), cfg.encode_rate));
+
+    const sim::TimePoint t0 = cluster.scheduler().now();
+    const Status stored =
+        co_await io.write(pipeline_key(field.step, field.index), nullptr, field.bytes);
+    if (!stored.is_ok()) {
+      if (!state.result.failed) {
+        state.result.failed = true;
+        state.result.failure = stored.to_string();
+      }
+      --inbox.outstanding;
+      continue;
+    }
+    state.result.store_log.record(0, static_cast<std::uint32_t>(index), field.step, t0,
+                                  cluster.scheduler().now(), field.bytes);
+    ++state.result.fields_stored;
+    --inbox.outstanding;
+  }
+}
+
+/// Signals server shutdown once every model process has finished producing.
+sim::Task<void> conductor(PipelineState& state) {
+  co_await state.producers_remaining.wait();
+  for (auto& server : state.server_states) {
+    server->producers_done = true;
+    server->wakeup.open();
+  }
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(daos::Cluster& cluster, const PipelineConfig& config) {
+  if (config.io_servers == 0 || config.model_processes == 0) {
+    PipelineResult bad;
+    bad.failed = true;
+    bad.failure = "pipeline needs at least one model process and one I/O server";
+    return bad;
+  }
+  if (config.field_size / config.model_processes == 0) {
+    PipelineResult bad;
+    bad.failed = true;
+    bad.failure = "field size smaller than one part per model process";
+    return bad;
+  }
+
+  PipelineState state(cluster.scheduler(), config.io_servers, config.model_processes);
+  for (std::size_t s = 0; s < config.io_servers; ++s) {
+    cluster.scheduler().spawn(io_server(cluster, config, state, s));
+  }
+  for (std::size_t m = 0; m < config.model_processes; ++m) {
+    cluster.scheduler().spawn(model_process(cluster, config, state, m));
+  }
+  cluster.scheduler().spawn(conductor(state));
+
+  const sim::TimePoint start = cluster.scheduler().now();
+  cluster.scheduler().run();
+  state.result.makespan = cluster.scheduler().now() - start;
+  return state.result;
+}
+
+}  // namespace nws::ioserver

@@ -1,0 +1,211 @@
+#include "lustre/lustre.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+#include "sim/when_all.h"
+
+namespace nws::lustre {
+
+LustreSystem::LustreSystem(sim::Scheduler& sched, LustreConfig config)
+    : sched_(sched), config_(std::move(config)), flows_(sched), rng_(config_.seed) {
+  if (config_.osts == 0) throw std::invalid_argument("Lustre needs at least one OST");
+  if (config_.client_nodes == 0) throw std::invalid_argument("Lustre needs at least one client node");
+  if (config_.provider.name.empty()) config_.provider = net::tcp_provider();
+  if (config_.default_stripe_count == 0) config_.default_stripe_count = 1;
+
+  net::TopologyConfig tcfg;
+  tcfg.nodes = config_.client_nodes;
+  tcfg.provider = config_.provider;
+  client_fabric_ = std::make_unique<net::Topology>(flows_, tcfg);
+
+  osts_.resize(config_.osts);
+  for (std::size_t i = 0; i < config_.osts; ++i) {
+    net::Link link;
+    link.name = strf("ost%zu", i);
+    link.kind = net::LinkKind::generic;
+    link.raw_capacity = ost_stream_bandwidth();
+    osts_[i].link = flows_.add_link(std::move(link));
+  }
+
+  // MDS op-rate service: one "byte" per metadata operation on a link whose
+  // capacity is the op rate.
+  net::Link mds;
+  mds.name = "mds";
+  mds.kind = net::LinkKind::generic;
+  mds.raw_capacity = config_.mds_ops_per_second;
+  mds_link_ = flows_.add_link(std::move(mds));
+}
+
+LustreSystem::FileState* LustreSystem::find(std::uint64_t inode) {
+  const auto it = files_.find(inode);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+sim::Task<void> LustreSystem::mds_op(net::Endpoint /*client*/) {
+  co_await sched_.delay(config_.mds_latency);
+  std::vector<net::LinkId> path{mds_link_};
+  co_await flows_.transfer(std::move(path), 1);
+}
+
+double LustreSystem::ost_begin_io(std::size_t ost, bool is_write) {
+  OstState& state = osts_.at(ost);
+  const sim::TimePoint now = sched_.now();
+  const std::size_t other_active = is_write ? state.active_reads : state.active_writes;
+  const sim::TimePoint other_last = is_write ? state.last_read : state.last_write;
+  const bool mixed = other_active > 0 || (config_.mixed_window > 0 && other_last >= 0 &&
+                                          now - other_last < config_.mixed_window);
+  ++(is_write ? state.active_writes : state.active_reads);
+  return mixed ? 1.0 + config_.mixed_seek_overhead : 1.0;
+}
+
+void LustreSystem::ost_end_io(std::size_t ost, bool is_write) {
+  OstState& state = osts_.at(ost);
+  auto& active = is_write ? state.active_writes : state.active_reads;
+  if (active == 0) throw std::logic_error("LustreSystem::ost_end_io underflow");
+  --active;
+  (is_write ? state.last_write : state.last_read) = sched_.now();
+}
+
+LustreClient::LustreClient(LustreSystem& system, net::Endpoint endpoint, std::uint64_t salt)
+    : system_(system), endpoint_(endpoint), rng_(system.rng_.fork(salt)) {}
+
+sim::Task<Result<FileHandle>> LustreClient::create(const std::string& path, unsigned stripe_count,
+                                                   Bytes stripe_size) {
+  co_await system_.mds_op(endpoint_);
+  if (system_.files_by_path_.count(path) != 0) {
+    co_return Status::error(Errc::already_exists, "file exists: " + path);
+  }
+  LustreSystem::FileState file;
+  file.inode = system_.next_inode_++;
+  file.path = path;
+  file.stripe_count = stripe_count != 0 ? stripe_count : system_.config_.default_stripe_count;
+  file.stripe_size = stripe_size != 0 ? stripe_size : system_.config_.default_stripe_size;
+  file.stripe_count =
+      static_cast<unsigned>(std::min<std::size_t>(file.stripe_count, system_.config_.osts));
+  // Lustre's allocator assigns stripes round-robin across OSTs, keeping
+  // load balanced — this is what lets file-per-process IOR approach the
+  // aggregate streaming bandwidth.
+  for (unsigned i = 0; i < file.stripe_count; ++i) {
+    file.osts.push_back(system_.next_ost_++ % system_.config_.osts);
+  }
+  file.range_lock = std::make_unique<sim::Mutex>(system_.sched_);
+  const FileHandle handle{file.inode};
+  system_.files_by_path_.emplace(path, file.inode);
+  system_.files_.emplace(file.inode, std::move(file));
+  co_return handle;
+}
+
+sim::Task<Result<FileHandle>> LustreClient::open(const std::string& path) {
+  co_await system_.mds_op(endpoint_);
+  const auto it = system_.files_by_path_.find(path);
+  if (it == system_.files_by_path_.end()) {
+    co_return Status::error(Errc::not_found, "no such file: " + path);
+  }
+  co_return FileHandle{it->second};
+}
+
+sim::Task<Status> LustreClient::write(FileHandle handle, Bytes offset, Bytes len) {
+  LustreSystem::FileState* file = system_.find(handle.inode);
+  if (file == nullptr) co_return Status::error(Errc::invalid, "stale file handle");
+  if (len == 0) co_return Status::ok();
+  const LustreConfig& cfg = system_.config_;
+
+  // POSIX consistency: concurrent writes to the same file serialise on the
+  // file's lock (file-per-process workloads never contend here).
+  co_await file->range_lock->lock();
+
+  // Stripe the extent across the file's OSTs and move the bytes; seek
+  // penalties surface as extra OST service.
+  std::vector<Bytes> per_ost(file->osts.size(), 0);
+  Bytes pos = offset;
+  Bytes remaining = len;
+  while (remaining > 0) {
+    const Bytes chunk_index = pos / file->stripe_size;
+    const Bytes within = pos % file->stripe_size;
+    const Bytes take = std::min(remaining, file->stripe_size - within);
+    per_ost[static_cast<std::size_t>(chunk_index % file->osts.size())] += take;
+    pos += take;
+    remaining -= take;
+  }
+  std::vector<sim::Task<void>> transfers;
+  std::vector<std::size_t> touched;
+  for (std::size_t i = 0; i < per_ost.size(); ++i) {
+    if (per_ost[i] == 0) continue;
+    const std::size_t ost = file->osts[i];
+    const double factor = system_.ost_begin_io(ost, /*is_write=*/true);
+    touched.push_back(ost);
+    const auto bytes = static_cast<Bytes>(static_cast<double>(per_ost[i]) * factor);
+    std::vector<net::LinkId> path{system_.client_fabric_->nic_tx(endpoint_), system_.osts_[ost].link};
+    const double cap = cfg.provider.stream_rate_cap(per_ost[i]) * rng_.lognormal_jitter(0.05);
+    auto one = [](net::FlowScheduler& fs, std::vector<net::LinkId> p, Bytes b, double c) -> sim::Task<void> {
+      co_await fs.transfer(std::move(p), b, c);
+    }(system_.flows_, std::move(path), bytes, cap);
+    transfers.push_back(std::move(one));
+  }
+  if (transfers.size() == 1) {
+    co_await std::move(transfers.front());
+  } else if (!transfers.empty()) {
+    co_await sim::when_all(system_.sched_, std::move(transfers));
+  }
+  for (const std::size_t ost : touched) system_.ost_end_io(ost, /*is_write=*/true);
+
+  file->size = std::max(file->size, offset + len);
+  file->range_lock->unlock();
+  co_return Status::ok();
+}
+
+sim::Task<Result<Bytes>> LustreClient::read(FileHandle handle, Bytes offset, Bytes len) {
+  LustreSystem::FileState* file = system_.find(handle.inode);
+  if (file == nullptr) co_return Status::error(Errc::invalid, "stale file handle");
+  if (offset >= file->size) co_return Bytes{0};
+  const Bytes to_read = std::min(len, file->size - offset);
+  const LustreConfig& cfg = system_.config_;
+
+  std::vector<Bytes> per_ost(file->osts.size(), 0);
+  Bytes pos = offset;
+  Bytes remaining = to_read;
+  while (remaining > 0) {
+    const Bytes chunk_index = pos / file->stripe_size;
+    const Bytes within = pos % file->stripe_size;
+    const Bytes take = std::min(remaining, file->stripe_size - within);
+    per_ost[static_cast<std::size_t>(chunk_index % file->osts.size())] += take;
+    pos += take;
+    remaining -= take;
+  }
+  std::vector<sim::Task<void>> transfers;
+  std::vector<std::size_t> touched;
+  for (std::size_t i = 0; i < per_ost.size(); ++i) {
+    if (per_ost[i] == 0) continue;
+    const std::size_t ost = file->osts[i];
+    const double factor = system_.ost_begin_io(ost, /*is_write=*/false);
+    touched.push_back(ost);
+    const auto bytes = static_cast<Bytes>(static_cast<double>(per_ost[i]) * factor);
+    std::vector<net::LinkId> path{system_.osts_[ost].link, system_.client_fabric_->nic_rx(endpoint_)};
+    const double cap = cfg.provider.stream_rate_cap(per_ost[i]) * rng_.lognormal_jitter(0.05);
+    auto one = [](net::FlowScheduler& fs, std::vector<net::LinkId> p, Bytes b, double c) -> sim::Task<void> {
+      co_await fs.transfer(std::move(p), b, c);
+    }(system_.flows_, std::move(path), bytes, cap);
+    transfers.push_back(std::move(one));
+  }
+  if (transfers.size() == 1) {
+    co_await std::move(transfers.front());
+  } else if (!transfers.empty()) {
+    co_await sim::when_all(system_.sched_, std::move(transfers));
+  }
+  for (const std::size_t ost : touched) system_.ost_end_io(ost, /*is_write=*/false);
+  co_return to_read;
+}
+
+sim::Task<Bytes> LustreClient::file_size(FileHandle handle) {
+  co_await system_.mds_op(endpoint_);
+  LustreSystem::FileState* file = system_.find(handle.inode);
+  co_return file == nullptr ? Bytes{0} : file->size;
+}
+
+sim::Task<void> LustreClient::close(FileHandle& handle) {
+  handle.inode = 0;
+  co_await system_.sched_.delay(sim::microseconds(20));
+}
+
+}  // namespace nws::lustre

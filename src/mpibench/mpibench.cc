@@ -1,0 +1,68 @@
+#include "mpibench/mpibench.h"
+
+#include <vector>
+
+#include "net/flow.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+
+namespace nws::mpibench {
+
+namespace {
+
+sim::Task<void> pair_stream(sim::Scheduler& sched, net::FlowScheduler& flows, const net::Topology& topo,
+                            const P2pParams& params, sim::Barrier& start) {
+  co_await start.arrive_and_wait();
+  const double cap = params.provider.stream_rate_cap(params.transfer_size);
+  auto path = topo.path(net::Endpoint{0, 0}, net::Endpoint{1, 0});
+  for (std::uint32_t i = 0; i < params.messages; ++i) {
+    // Per-message handshake latency, then the bulk transfer.
+    co_await sched.delay(params.provider.message_latency);
+    auto p = path;
+    co_await flows.transfer(std::move(p), params.transfer_size, cap);
+  }
+}
+
+}  // namespace
+
+P2pResult run_p2p(const P2pParams& params) {
+  sim::Scheduler sched;
+  net::FlowScheduler flows(sched);
+  net::TopologyConfig tcfg;
+  tcfg.nodes = 2;
+  tcfg.provider = params.provider;
+  const net::Topology topo(flows, tcfg);
+
+  sim::Barrier start(sched, params.pairs);
+  for (std::size_t i = 0; i < params.pairs; ++i) {
+    sched.spawn(pair_stream(sched, flows, topo, params, start));
+  }
+  sched.run();
+
+  P2pResult result;
+  const double total_bytes =
+      static_cast<double>(params.transfer_size) * params.messages * static_cast<double>(params.pairs);
+  result.bandwidth = total_bytes / sim::to_seconds(sched.now());
+  return result;
+}
+
+P2pSweepResult sweep_transfer_sizes(const net::ProviderProfile& provider, std::size_t pairs,
+                                    std::uint32_t messages) {
+  P2pSweepResult best;
+  for (const Bytes size : {256_KiB, 512_KiB, 1_MiB, 2_MiB, 4_MiB, 8_MiB, 16_MiB, 32_MiB}) {
+    P2pParams params;
+    params.provider = provider;
+    params.pairs = pairs;
+    params.transfer_size = size;
+    params.messages = messages;
+    const P2pResult r = run_p2p(params);
+    if (r.bandwidth > best.best_bandwidth) {
+      best.best_bandwidth = r.bandwidth;
+      best.best_size = size;
+    }
+  }
+  return best;
+}
+
+}  // namespace nws::mpibench

@@ -1,0 +1,45 @@
+// MPI-style point-to-point transfer benchmark (paper Table 2).
+//
+// "Data transfers have been tested with MPI between pairs of processes
+// running on the first socket in two separate nodes ... The number of
+// process pairs has been varied, as well as the size of the data transfers
+// (between 0 and 32 MiB)."
+//
+// Each pair streams `messages` back-to-back transfers of `transfer_size`
+// from a sender process on node 0, socket 0 to a receiver on node 1,
+// socket 0, over the raw fabric model (no DAOS).  Reported bandwidth is the
+// aggregate across pairs, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "net/provider.h"
+
+namespace nws::mpibench {
+
+struct P2pParams {
+  net::ProviderProfile provider = net::tcp_provider();
+  std::size_t pairs = 1;
+  Bytes transfer_size = 2_MiB;
+  std::uint32_t messages = 32;  // per pair
+};
+
+struct P2pResult {
+  double bandwidth = 0.0;  // aggregate bytes/s across pairs
+};
+
+P2pResult run_p2p(const P2pParams& params);
+
+/// Sweeps transfer sizes and returns the best (size, aggregate bandwidth),
+/// reproducing Table 2's "optimal transfer size" methodology.
+struct P2pSweepResult {
+  Bytes best_size = 0;
+  double best_bandwidth = 0.0;
+};
+
+P2pSweepResult sweep_transfer_sizes(const net::ProviderProfile& provider, std::size_t pairs,
+                                    std::uint32_t messages = 32);
+
+}  // namespace nws::mpibench

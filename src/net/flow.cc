@@ -1,0 +1,214 @@
+#include "net/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nws::net {
+
+namespace {
+// Bytes below which a flow counts as finished (guards float round-off).
+constexpr double kCompletionEpsilon = 0.5;
+// Rate head-room treated as saturated during progressive filling.
+constexpr double kRateEpsilon = 1e-6;
+}  // namespace
+
+LinkId FlowScheduler::add_link(Link link) {
+  if (link.raw_capacity <= 0.0) throw std::invalid_argument("link capacity must be positive: " + link.name);
+  links_.push_back(std::move(link));
+  link_flow_count_.push_back(0);
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void FlowScheduler::start_flow(std::vector<LinkId> path, double bytes, double rate_cap,
+                               std::coroutine_handle<> h) {
+  for (const LinkId id : path) {
+    if (id >= links_.size()) throw std::out_of_range("flow path references unknown link");
+  }
+  advance_progress();
+  Flow flow;
+  flow.path = std::move(path);
+  flow.remaining = bytes;
+  flow.total = bytes;
+  flow.cap = rate_cap;
+  flow.waiter = h;
+  flows_.push_back(std::move(flow));
+  ++stats_.flows_started;
+  stats_.peak_concurrent = std::max(stats_.peak_concurrent, flows_.size());
+  maybe_recompute(&flows_.back());
+  settle();
+}
+
+void FlowScheduler::advance_progress() {
+  const sim::TimePoint now = sched_.now();
+  const double dt = sim::to_seconds(now - last_update_);
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  for (Flow& f : flows_) {
+    f.remaining -= f.rate * dt;
+    if (f.remaining < 0.0) f.remaining = 0.0;
+  }
+}
+
+void FlowScheduler::maybe_recompute(Flow* added) {
+  // Exact solve below the threshold and periodically above it; in between,
+  // an added flow simply starts at the last fair-share floor (capped), and
+  // departures leave the remaining rates untouched until the next full
+  // solve.  See set_lazy_recompute() for the error bound.
+  if (flows_.size() <= lazy_threshold_ || ++changes_since_full_ >= lazy_interval_) {
+    changes_since_full_ = 0;
+    recompute_rates();
+    return;
+  }
+  if (added != nullptr) {
+    added->rate = fair_share_floor_ > 0.0 ? std::min(added->cap, fair_share_floor_) : added->cap;
+    if (!std::isfinite(added->rate)) added->rate = fair_share_floor_;
+    if (added->rate <= 0.0) {
+      changes_since_full_ = 0;
+      recompute_rates();
+    }
+  }
+}
+
+void FlowScheduler::recompute_rates() {
+  ++stats_.rate_recomputations;
+  const std::size_t n_flows = flows_.size();
+  if (n_flows == 0) return;
+
+  // Effective capacities given current flow counts per link.  Only links
+  // actually carrying flows participate (the cluster registers hundreds of
+  // links; an op touches a handful).
+  std::fill(link_flow_count_.begin(), link_flow_count_.end(), std::size_t{0});
+  std::vector<LinkId> active_links;
+  active_links.reserve(flows_.size() * 4);
+  for (const Flow& f : flows_) {
+    for (const LinkId id : f.path) {
+      if (link_flow_count_[id]++ == 0) active_links.push_back(id);
+    }
+  }
+  std::vector<double> residual(links_.size(), 0.0);
+  std::vector<std::size_t> unfrozen_on_link(links_.size(), 0);
+  for (const LinkId l : active_links) {
+    residual[l] = links_[l].effective_capacity(link_flow_count_[l]);
+    unfrozen_on_link[l] = link_flow_count_[l];
+  }
+
+  // Progressive filling: raise every unfrozen flow's rate uniformly until a
+  // link saturates or a flow hits its own cap; freeze and repeat.
+  std::vector<bool> frozen(n_flows, false);
+  std::size_t n_frozen = 0;
+  double level = 0.0;
+  while (n_frozen < n_flows) {
+    // Smallest increment that saturates some constraint.
+    double delta = std::numeric_limits<double>::infinity();
+    for (const LinkId l : active_links) {
+      if (unfrozen_on_link[l] > 0) {
+        delta = std::min(delta, residual[l] / static_cast<double>(unfrozen_on_link[l]));
+      }
+    }
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      if (!frozen[i]) delta = std::min(delta, flows_[i].cap - level);
+    }
+    if (!std::isfinite(delta)) throw std::logic_error("max-min fill diverged (uncapped flow on no links?)");
+    if (delta < 0.0) delta = 0.0;
+
+    level += delta;
+    for (const LinkId l : active_links) {
+      residual[l] -= delta * static_cast<double>(unfrozen_on_link[l]);
+    }
+
+    // Freeze flows that hit their cap or sit on a saturated link.
+    bool any_frozen_this_round = false;
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      if (frozen[i]) continue;
+      bool saturated = flows_[i].cap - level <= kRateEpsilon;
+      if (!saturated) {
+        for (const LinkId id : flows_[i].path) {
+          if (residual[id] <= kRateEpsilon * links_[id].raw_capacity) {
+            saturated = true;
+            break;
+          }
+        }
+      }
+      if (saturated) {
+        frozen[i] = true;
+        ++n_frozen;
+        any_frozen_this_round = true;
+        flows_[i].rate = level;
+        for (const LinkId id : flows_[i].path) --unfrozen_on_link[id];
+      }
+    }
+    if (!any_frozen_this_round) {
+      // Numerical corner: nothing saturated exactly; freeze everything at
+      // the current level to guarantee termination.
+      for (std::size_t i = 0; i < n_flows; ++i) {
+        if (!frozen[i]) {
+          frozen[i] = true;
+          ++n_frozen;
+          flows_[i].rate = level;
+        }
+      }
+    }
+  }
+
+  double floor = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    if (f.rate > 0.0) floor = std::min(floor, f.rate);
+  }
+  fair_share_floor_ = std::isfinite(floor) ? floor : 0.0;
+}
+
+void FlowScheduler::settle() {
+  completion_timer_.cancel();
+
+  // Complete flows that are done as of now.
+  bool completed_any = false;
+  for (std::size_t i = 0; i < flows_.size();) {
+    if (flows_[i].remaining <= kCompletionEpsilon) {
+      const auto waiter = flows_[i].waiter;
+      stats_.bytes_delivered += flows_[i].total;
+      ++stats_.flows_completed;
+      flows_[i] = std::move(flows_.back());
+      flows_.pop_back();
+      completed_any = true;
+      sched_.schedule_handle(sched_.now(), waiter);
+    } else {
+      ++i;
+    }
+  }
+  if (completed_any) maybe_recompute(nullptr);
+  if (flows_.empty()) return;
+
+  // Earliest next completion (seconds), rounded up to a whole nanosecond so
+  // the timer never re-fires at the current instant.
+  double min_time = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    if (f.rate > 0.0) min_time = std::min(min_time, f.remaining / f.rate);
+  }
+  if (!std::isfinite(min_time)) {
+    throw std::logic_error("active flows with zero rate: link capacities exhausted");
+  }
+  auto delta = static_cast<sim::Duration>(std::ceil(min_time * 1e9));
+  if (delta < 1) delta = 1;
+  completion_timer_ = sched_.schedule_callback(sched_.now() + delta, [this] {
+    advance_progress();
+    settle();
+  });
+}
+
+std::vector<double> FlowScheduler::current_rates() const {
+  std::vector<double> rates;
+  rates.reserve(flows_.size());
+  for (const Flow& f : flows_) rates.push_back(f.rate);
+  return rates;
+}
+
+std::size_t FlowScheduler::flows_on_link(LinkId id) const {
+  std::size_t n = 0;
+  for (const Flow& f : flows_) {
+    n += static_cast<std::size_t>(std::count(f.path.begin(), f.path.end(), id));
+  }
+  return n;
+}
+
+}  // namespace nws::net

@@ -1,0 +1,130 @@
+// Flow-level bandwidth sharing with max-min fairness.
+//
+// Every bulk data movement in the simulation (an IOR segment, a field
+// write's array transfer, an MPI message) is a *flow*: a byte count pushed
+// along a path of links.  While a flow is active it receives a rate; rates
+// are recomputed with progressive-filling max-min fairness whenever the set
+// of active flows changes, honouring
+//
+//   * each link's effective capacity (which may depend on how many flows the
+//     link is carrying — the TCP efficiency curve), and
+//   * each flow's own rate cap (the provider's per-stream limit, possibly
+//     jittered per operation to model service-time variance).
+//
+// A flow completes when its byte count has been delivered; the awaiting
+// simulated process is then resumed.  This is the classic flow-level network
+// simulation approach: accurate steady-state sharing without per-packet
+// cost.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+#include "net/link.h"
+#include "sim/scheduler.h"
+
+namespace nws::net {
+
+/// Identifies an active flow inside the scheduler.
+using FlowId = std::uint64_t;
+
+struct FlowStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  double bytes_delivered = 0.0;
+  std::size_t peak_concurrent = 0;
+  std::uint64_t rate_recomputations = 0;
+};
+
+class FlowScheduler {
+ public:
+  explicit FlowScheduler(sim::Scheduler& sched) : sched_(sched) {}
+  FlowScheduler(const FlowScheduler&) = delete;
+  FlowScheduler& operator=(const FlowScheduler&) = delete;
+
+  /// Registers a link and returns its id.
+  LinkId add_link(Link link);
+
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Mutable link access for topology post-configuration (e.g. scaling a
+  /// client NIC's receive efficiency).  Must not be used once flows are
+  /// active on the link.
+  [[nodiscard]] Link& mutable_link(LinkId id) { return links_.at(id); }
+
+  /// Awaitable transfer of `bytes` along `path`, rate-capped at `rate_cap`
+  /// bytes/s (use infinity for no cap).  Completes when all bytes have been
+  /// delivered.  An empty path transfers instantaneously.
+  auto transfer(std::vector<LinkId> path, nws::Bytes bytes,
+                double rate_cap = std::numeric_limits<double>::infinity()) {
+    struct Awaiter {
+      FlowScheduler& fs;
+      std::vector<LinkId> path;
+      double bytes;
+      double rate_cap;
+      bool await_ready() const { return bytes <= 0.0 || path.empty(); }
+      void await_suspend(std::coroutine_handle<> h) { fs.start_flow(std::move(path), bytes, rate_cap, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, std::move(path), static_cast<double>(bytes), rate_cap};
+  }
+
+  [[nodiscard]] const FlowStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Bounded-staleness rate updates for very wide workloads: with more than
+  /// `threshold` active flows, a full max-min recomputation runs only every
+  /// `interval` flow arrivals/departures; in between, new flows start at the
+  /// last fair-share floor.  The transient error is bounded by
+  /// interval/threshold (~2% at the defaults); below the threshold the
+  /// solver is exact.  Pass threshold = SIZE_MAX to force exactness.
+  void set_lazy_recompute(std::size_t threshold, std::size_t interval) {
+    lazy_threshold_ = threshold;
+    lazy_interval_ = interval;
+  }
+
+  /// Current max-min rate of every active flow (test hook; bytes/s).
+  [[nodiscard]] std::vector<double> current_rates() const;
+
+  /// Number of active flows currently crossing `id` (test hook).
+  [[nodiscard]] std::size_t flows_on_link(LinkId id) const;
+
+ private:
+  struct Flow {
+    std::vector<LinkId> path;
+    double remaining = 0.0;  // bytes
+    double total = 0.0;      // bytes
+    double rate = 0.0;       // bytes/s
+    double cap = 0.0;        // bytes/s
+    std::coroutine_handle<> waiter;
+  };
+
+  void start_flow(std::vector<LinkId> path, double bytes, double rate_cap, std::coroutine_handle<> h);
+  /// Applies progress for the elapsed interval since the last update.
+  void advance_progress();
+  /// Recomputes all flow rates (progressive-filling max-min).
+  void recompute_rates();
+  /// Full recompute, or a cheap bounded-staleness update for `added` (see
+  /// set_lazy_recompute).
+  void maybe_recompute(Flow* added);
+  /// Completes any finished flows and re-arms the completion timer.
+  void settle();
+
+  sim::Scheduler& sched_;
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;
+  std::vector<std::size_t> link_flow_count_;  // scratch, sized to links_
+  sim::TimePoint last_update_ = 0;
+  sim::Timer completion_timer_;
+  FlowStats stats_;
+  std::size_t lazy_threshold_ = 224;
+  std::size_t lazy_interval_ = 12;
+  std::size_t changes_since_full_ = 0;
+  double fair_share_floor_ = 0.0;  // min positive rate at the last full solve
+};
+
+}  // namespace nws::net

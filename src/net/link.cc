@@ -1,0 +1,37 @@
+#include "net/link.h"
+
+#include <stdexcept>
+
+namespace nws::net {
+
+EfficiencyCurve::EfficiencyCurve(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first <= points_[i - 1].first) {
+      throw std::invalid_argument("EfficiencyCurve points must be strictly increasing in stream count");
+    }
+  }
+}
+
+EfficiencyCurve EfficiencyCurve::scaled(double factor) const {
+  auto points = points_;
+  for (auto& [x, y] : points) y *= factor;
+  return EfficiencyCurve(std::move(points));
+}
+
+double EfficiencyCurve::evaluate(double streams) const {
+  if (points_.empty()) throw std::logic_error("evaluate on empty EfficiencyCurve");
+  if (streams <= points_.front().first) return points_.front().second;
+  if (streams >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (streams <= points_[i].first) {
+      const auto& [x0, y0] = points_[i - 1];
+      const auto& [x1, y1] = points_[i];
+      const double t = (streams - x0) / (x1 - x0);
+      return y0 + t * (y1 - y0);
+    }
+  }
+  return points_.back().second;
+}
+
+}  // namespace nws::net

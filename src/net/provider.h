@@ -1,0 +1,63 @@
+// Fabric provider models: OFI TCP and PSM2 over OmniPath.
+//
+// The paper could not use the RDMA-capable PSM2 provider for its main runs
+// ("use of PSM2 in DAOS is not yet production-ready, impeding dual-engine per
+// node, dual-rail DAOS deployments", Section 6.1.1) and fell back to OFI TCP.
+// It calibrated both with MPI point-to-point transfers (Table 2):
+//
+//   PSM2, 1 pair:  12.1 GiB/s at 8 MiB transfers (~97% of the 12.5 GiB/s NIC)
+//   TCP,  1 pair:   3.1 GiB/s at 2 MiB
+//   TCP,  2 pairs:  4.1 GiB/s,  4 pairs: 6.9,  8 pairs: 9.5,  16 pairs: 9.0
+//
+// We model a provider with (a) a per-stream rate cap as a function of
+// transfer size, (b) a NIC aggregate-efficiency curve as a function of the
+// number of concurrent streams, and (c) a small-message latency used for RPC
+// costs.  The constants below are fitted so the Table 2 benchmark regenerated
+// by bench/table2_mpi_p2p lands on the paper's measurements.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "net/link.h"
+#include "sim/time.h"
+
+namespace nws::net {
+
+struct ProviderProfile {
+  std::string name;
+
+  // Per-stream rate model: rate(s) = peak * s / (s + half_size), further
+  // derated by 1 / (1 + large_penalty * log2(s / penalty_onset)) for
+  // transfers larger than penalty_onset.  The ramp models the latency /
+  // windowing cost of small transfers; the derate models the buffer-churn
+  // slowdown that makes very large transfers sub-optimal (Table 2's
+  // "optimal transfer size" column is finite).
+  double stream_peak = 0.0;          // bytes/s
+  double stream_half_size = 0.0;     // bytes
+  double large_penalty = 0.0;        // per-doubling fractional cost
+  double penalty_onset = 0.0;        // bytes
+
+  // NIC aggregate capacity as a function of concurrent streams.
+  EfficiencyCurve nic_curve;
+
+  // One-way small-message latency (RPC cost building block).
+  sim::Duration message_latency = 0;
+
+  // PSM2 deployments could not run dual-engine / dual-rail (paper 6.1.1).
+  bool supports_dual_rail = true;
+
+  /// The fastest a single stream moving `transfer_size` bytes can go.
+  [[nodiscard]] double stream_rate_cap(nws::Bytes transfer_size) const;
+};
+
+/// OFI TCP provider (used for the majority of the paper's runs).
+ProviderProfile tcp_provider();
+
+/// OFI PSM2 provider (RDMA over OmniPath; single-rail only).
+ProviderProfile psm2_provider();
+
+/// Look up by name ("tcp" / "psm2"); throws std::invalid_argument otherwise.
+ProviderProfile provider_by_name(const std::string& name);
+
+}  // namespace nws::net

@@ -1,0 +1,42 @@
+#include "scm/scm.h"
+
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace nws::scm {
+
+ScmRegion::ScmRegion(std::string name, DcpmmSpec spec, std::size_t modules)
+    : name_(std::move(name)), spec_(spec), modules_(modules) {
+  if (modules_ == 0) throw std::invalid_argument("ScmRegion needs at least one module");
+  if (spec_.capacity == 0) throw std::invalid_argument("DCPMM capacity must be positive");
+}
+
+Result<std::uint64_t> ScmRegion::allocate(Bytes size) {
+  if (size == 0) return Status::error(Errc::invalid, "zero-size SCM allocation");
+  if (size > available()) {
+    return Status::error(Errc::no_space, strf("SCM region %s exhausted: need %s, have %s", name_.c_str(),
+                                              format_bytes(size).c_str(), format_bytes(available()).c_str()));
+  }
+  used_ += size;
+  const std::uint64_t id = next_id_++;
+  allocations_.emplace(id, size);
+  return id;
+}
+
+void ScmRegion::free(std::uint64_t allocation_id) {
+  const auto it = allocations_.find(allocation_id);
+  if (it == allocations_.end()) {
+    throw std::logic_error("ScmRegion::free of unknown allocation (double free?)");
+  }
+  used_ -= it->second;
+  allocations_.erase(it);
+}
+
+Bytes ScmRegion::allocation_size(std::uint64_t id) const {
+  const auto it = allocations_.find(id);
+  if (it == allocations_.end()) throw std::out_of_range("unknown SCM allocation id");
+  return it->second;
+}
+
+}  // namespace nws::scm

@@ -1,0 +1,74 @@
+// Storage Class Memory model: Intel Optane DC Persistent Memory Modules.
+//
+// NEXTGenIO nodes carry six 256 GiB first-generation DCPMMs per socket,
+// configured in AppDirect interleaved mode (paper 6.1) — i.e. the six
+// modules of a socket form one interleaved region whose bandwidth is the
+// sum of the module bandwidths and whose capacity is 1.5 TiB (3 TiB/node).
+//
+// The model tracks capacity (allocations fail with no_space when a region
+// is exhausted — the pool-reservation failure mode DAOS surfaces) and
+// exposes aggregate media bandwidth/latency for the timing model.  First-
+// generation Optane media is strongly read/write asymmetric, which is one
+// reason the paper's write bandwidths trail its read bandwidths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace nws::scm {
+
+/// Media characteristics of a single DCPMM module.
+struct DcpmmSpec {
+  Bytes capacity = 256_GiB;
+  // First-generation Optane DCPMM figures (Weiland et al., SC'19 — paper
+  // ref. [2]): reads ~3x faster than writes.
+  double read_bandwidth = gib_per_sec(6.0);
+  double write_bandwidth = gib_per_sec(2.0);
+  sim::Duration read_latency = sim::nanoseconds(300);
+  sim::Duration write_latency = sim::nanoseconds(100);
+};
+
+/// An AppDirect interleaved region: `modules` DCPMMs striped together.
+class ScmRegion {
+ public:
+  ScmRegion(std::string name, DcpmmSpec spec, std::size_t modules);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t modules() const { return modules_; }
+
+  [[nodiscard]] Bytes capacity() const { return spec_.capacity * modules_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes available() const { return capacity() - used_; }
+
+  /// Aggregate interleaved bandwidth (sum across modules).
+  [[nodiscard]] double read_bandwidth() const { return spec_.read_bandwidth * static_cast<double>(modules_); }
+  [[nodiscard]] double write_bandwidth() const {
+    return spec_.write_bandwidth * static_cast<double>(modules_);
+  }
+  [[nodiscard]] sim::Duration read_latency() const { return spec_.read_latency; }
+  [[nodiscard]] sim::Duration write_latency() const { return spec_.write_latency; }
+
+  /// Reserves `size` bytes; returns an allocation id, or no_space.
+  Result<std::uint64_t> allocate(Bytes size);
+
+  /// Releases an allocation.  Unknown ids are a logic error (double free).
+  void free(std::uint64_t allocation_id);
+
+  [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }
+  [[nodiscard]] Bytes allocation_size(std::uint64_t id) const;
+
+ private:
+  std::string name_;
+  DcpmmSpec spec_;
+  std::size_t modules_;
+  Bytes used_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Bytes> allocations_;
+};
+
+}  // namespace nws::scm

@@ -1,0 +1,63 @@
+#include "sim/scheduler.h"
+
+namespace nws::sim {
+
+Scheduler::Detached Scheduler::run_root(Scheduler& sched, Task<void> task) {
+  try {
+    co_await std::move(task);
+    sched.note_process_done();
+  } catch (...) {
+    sched.note_process_failed(std::current_exception());
+  }
+}
+
+void Scheduler::spawn(Task<void> task) {
+  if (!task.valid()) throw std::invalid_argument("spawn of empty task");
+  ++live_;
+  const Detached wrapper = run_root(*this, std::move(task));
+  schedule_handle(now_, wrapper.handle);
+}
+
+void Scheduler::schedule_handle(TimePoint t, std::coroutine_handle<> h) {
+  if (t < now_) throw std::logic_error("schedule_handle in the past");
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+Timer Scheduler::schedule_callback(TimePoint t, std::function<void()> cb) {
+  if (t < now_) throw std::logic_error("schedule_callback in the past");
+  auto state = std::make_shared<Timer::State>();
+  state->callback = std::move(cb);
+  queue_.push(Event{t, next_seq_++, nullptr, state});
+  return Timer{state};
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.timer && ev.timer->cancelled) continue;  // skip cancelled timers
+    now_ = ev.t;
+    ++events_executed_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.timer->fired = true;
+      ev.timer->callback();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (live_ > 0) throw DeadlockError(live_);
+}
+
+}  // namespace nws::sim

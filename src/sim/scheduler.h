@@ -1,0 +1,145 @@
+// Discrete-event scheduler.
+//
+// Single-threaded event loop over simulated time.  Events are ordered by
+// (timestamp, insertion sequence) so execution is deterministic.  Root
+// processes are spawned as detached coroutines; the run loop finishes when
+// the event queue drains, and reports a deadlock if live processes remain
+// blocked (e.g. a mutex never released).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace nws::sim {
+
+/// Thrown by Scheduler::run() when the queue drains while processes are
+/// still blocked on primitives.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::size_t blocked)
+      : std::runtime_error("simulation deadlock: " + std::to_string(blocked) +
+                           " process(es) blocked with no pending events") {}
+};
+
+/// Cancellable timer handle returned by schedule_callback().
+class Timer {
+ public:
+  Timer() = default;
+
+  /// Cancels the pending callback; safe to call after firing or repeatedly.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+    state_.reset();
+  }
+
+  [[nodiscard]] bool pending() const { return state_ && !state_->cancelled && !state_->fired; }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    std::function<void()> callback;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit Timer(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Spawns a root process; it begins executing at the current simulated time
+  /// once the run loop reaches it.
+  void spawn(Task<void> task);
+
+  /// Resumes `h` at absolute time `t` (>= now).
+  void schedule_handle(TimePoint t, std::coroutine_handle<> h);
+
+  /// Runs `cb` at absolute time `t`.  The returned Timer can cancel it.
+  Timer schedule_callback(TimePoint t, std::function<void()> cb);
+
+  /// Awaitable: suspends the current coroutine for `d` simulated time.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Scheduler& sched;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sched.schedule_handle(sched.now_ + d, h); }
+      void await_resume() const noexcept {}
+    };
+    if (d < 0) throw std::invalid_argument("negative delay");
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: yields to other events scheduled at the current time.
+  auto yield() { return delay(0); }
+
+  /// Runs until the event queue is empty.  Throws DeadlockError if live
+  /// processes remain, or rethrows the first unhandled process exception.
+  void run();
+
+  /// Executes the single next event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t live_processes() const { return live_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;              // exactly one of handle/timer set
+    std::shared_ptr<Timer::State> timer;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void note_process_done() { --live_; }
+  void note_process_failed(std::exception_ptr e) {
+    --live_;
+    if (!first_error_) first_error_ = e;
+  }
+
+  // Detached wrapper coroutine that owns a root Task, reports its completion
+  // (or failure) back to the scheduler, and self-destroys at the end.
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() {
+        return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() { std::terminate(); }  // wrapper body catches everything
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+  static Detached run_root(Scheduler& sched, Task<void> task);
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::size_t live_ = 0;
+  std::exception_ptr first_error_;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+};
+
+}  // namespace nws::sim

@@ -1,0 +1,154 @@
+// Coroutine task type for simulated processes.
+//
+// A Task<T> is a lazily-started coroutine: it runs only once awaited (or
+// spawned as a root process on the Scheduler).  Completion resumes the
+// awaiting coroutine by symmetric transfer, so arbitrarily deep call chains
+// (field write -> container open -> RPC -> network flow) neither grow the
+// machine stack nor touch the event queue.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace nws::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine returning T.  Move-only; owns its frame.
+template <typename T>
+class Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Task get_return_object() { return Task{std::coroutine_handle<promise_type>::from_promise(*this)}; }
+    void return_value(T value) { result.template emplace<1>(std::move(value)); }
+    void unhandled_exception() { result.template emplace<2>(std::current_exception()); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer: start the child now
+      }
+      T await_resume() {
+        auto& result = handle.promise().result;
+        if (result.index() == 2) std::rethrow_exception(std::get<2>(result));
+        if (result.index() != 1) throw std::logic_error("Task completed without a value");
+        return std::move(std::get<1>(result));
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the coroutine frame (used by Scheduler::spawn).
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    std::exception_ptr exception;
+
+    Task get_return_object() { return Task{std::coroutine_handle<promise_type>::from_promise(*this)}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        if (handle && handle.promise().exception) std::rethrow_exception(handle.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace nws::sim

@@ -1,0 +1,47 @@
+// Concurrent composition of tasks: co_await when_all(sched, tasks).
+//
+// Each task runs as its own simulated process; the awaiting coroutine
+// resumes when all have finished.  Used for fan-out inside a single logical
+// operation, e.g. a striped DAOS array write issuing one flow per shard.
+// If any child throws, the first exception is rethrown to the awaiter after
+// all children have settled.
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace nws::sim {
+
+namespace detail {
+struct JoinState {
+  explicit JoinState(Scheduler& sched, std::size_t n) : latch(sched, n) {}
+  CountDownLatch latch;
+  std::exception_ptr first_error;
+};
+
+inline Task<void> run_child(std::shared_ptr<JoinState> state, Task<void> task) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    if (!state->first_error) state->first_error = std::current_exception();
+  }
+  state->latch.count_down();
+}
+}  // namespace detail
+
+/// Runs all tasks concurrently; completes when every one has finished.
+inline Task<void> when_all(Scheduler& sched, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto state = std::make_shared<detail::JoinState>(sched, tasks.size());
+  for (auto& t : tasks) sched.spawn(detail::run_child(state, std::move(t)));
+  co_await state->latch.wait();
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace nws::sim

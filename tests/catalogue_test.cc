@@ -1,0 +1,138 @@
+// Tests for the store catalogue.
+#include <gtest/gtest.h>
+
+#include "daos/client.h"
+#include "daos/cluster.h"
+#include "fdb/catalogue.h"
+#include "fdb/field_io.h"
+
+namespace nws::fdb {
+namespace {
+
+using nws::operator""_KiB;
+using nws::operator""_MiB;
+
+struct Fixture {
+  sim::Scheduler sched;
+  std::unique_ptr<daos::Cluster> cluster;
+
+  Fixture() {
+    daos::ClusterConfig cfg;
+    cfg.server_nodes = 1;
+    cfg.client_nodes = 1;
+    cfg.payload_mode = daos::PayloadMode::digest;
+    cluster = std::make_unique<daos::Cluster>(sched, cfg);
+  }
+
+  template <typename Body>
+  void run(Body body) {
+    auto proc = [](daos::Cluster& cl, Body b) -> sim::Task<void> {
+      daos::Client client(cl, cl.client_endpoint(0, 0), 0);
+      co_await b(client);
+    };
+    sched.spawn(proc(*cluster, std::move(body)));
+    sched.run();
+  }
+};
+
+FieldKey key_for(const std::string& date, int step) {
+  FieldKey key;
+  key.set("class", "od").set("date", date).set("time", "0000");
+  key.set("param", "t").set("step", std::to_string(step));
+  return key;
+}
+
+class CatalogueModes : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(CatalogueModes, ListsForecastsAndFields) {
+  const Mode mode = GetParam();
+  Fixture fx;
+  fx.run([mode](daos::Client& client) -> sim::Task<void> {
+    FieldIoConfig cfg;
+    cfg.mode = mode;
+    FieldIo io(client, cfg, 0);
+    (co_await io.init()).expect_ok("init");
+    // Two forecasts, 3 and 2 fields.
+    for (int step = 0; step < 3; ++step) {
+      (co_await io.write(key_for("20260701", step), nullptr, 1_MiB)).expect_ok("write");
+    }
+    for (int step = 0; step < 2; ++step) {
+      (co_await io.write(key_for("20260702", step), nullptr, 2_MiB)).expect_ok("write");
+    }
+
+    Catalogue catalogue(client, cfg);
+    (co_await catalogue.init()).expect_ok("catalogue init");
+    auto forecasts = co_await catalogue.list_forecasts();
+    EXPECT_TRUE(forecasts.is_ok());
+    EXPECT_EQ(forecasts.value().size(), 2u);
+    Bytes total = 0;
+    for (const ForecastEntry& f : forecasts.value()) {
+      if (f.forecast_key.find("20260701") != std::string::npos) {
+        EXPECT_EQ(f.field_count, 3u);
+        EXPECT_EQ(f.total_bytes, 3_MiB);
+      } else {
+        EXPECT_EQ(f.field_count, 2u);
+        EXPECT_EQ(f.total_bytes, 4_MiB);
+      }
+      total += f.total_bytes;
+    }
+    EXPECT_EQ((co_await catalogue.referenced_bytes()).value(), total);
+
+    auto fields = co_await catalogue.list_fields(forecasts.value()[0].forecast_key);
+    EXPECT_TRUE(fields.is_ok());
+    for (const FieldEntry& field : fields.value()) {
+      EXPECT_FALSE(field.field_key.empty());
+      EXPECT_GT(field.size, 0u);
+    }
+  });
+}
+
+TEST_P(CatalogueModes, RewriteKeepsReferencedBytesStable) {
+  // Re-writes orphan the old array: pool usage grows, but the catalogue's
+  // referenced bytes stay constant (Section 4's no-delete design).
+  const Mode mode = GetParam();
+  Fixture fx;
+  fx.run([mode, &fx](daos::Client& client) -> sim::Task<void> {
+    FieldIoConfig cfg;
+    cfg.mode = mode;
+    FieldIo io(client, cfg, 0);
+    (co_await io.init()).expect_ok("init");
+    for (int i = 0; i < 3; ++i) {
+      (co_await io.write(key_for("20260701", 0), nullptr, 1_MiB)).expect_ok("write");
+    }
+    Catalogue catalogue(client, cfg);
+    (co_await catalogue.init()).expect_ok("catalogue init");
+    EXPECT_EQ((co_await catalogue.referenced_bytes()).value(), 1_MiB);
+    EXPECT_EQ(fx.cluster->pool_used(), 3_MiB);  // two orphaned generations
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(IndexedModes, CatalogueModes,
+                         ::testing::Values(Mode::full, Mode::no_containers),
+                         [](const auto& info) {
+                           return info.param == Mode::full ? "full" : "no_containers";
+                         });
+
+TEST(CatalogueTest, NoIndexModeUnsupported) {
+  Fixture fx;
+  fx.run([](daos::Client& client) -> sim::Task<void> {
+    FieldIoConfig cfg;
+    cfg.mode = Mode::no_index;
+    Catalogue catalogue(client, cfg);
+    EXPECT_EQ((co_await catalogue.init()).code(), Errc::unsupported);
+  });
+}
+
+TEST(CatalogueTest, UnknownForecastFails) {
+  Fixture fx;
+  fx.run([](daos::Client& client) -> sim::Task<void> {
+    Catalogue catalogue(client, FieldIoConfig{});
+    (co_await catalogue.init()).expect_ok("init");
+    const auto missing = co_await catalogue.list_fields("'class': 'od', 'date': '19990101'");
+    EXPECT_EQ(missing.status().code(), Errc::not_found);
+    EXPECT_TRUE((co_await catalogue.list_forecasts()).value().empty());
+  });
+}
+
+}  // namespace
+}  // namespace nws::fdb

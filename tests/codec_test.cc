@@ -1,0 +1,210 @@
+// Tests for the GRIB-style codec and the synthetic field generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/field_generator.h"
+#include "codec/grib.h"
+
+namespace nws::codec {
+namespace {
+
+using nws::operator""_MiB;
+
+Field small_field() {
+  Field f;
+  f.nlat = 4;
+  f.nlon = 8;
+  f.values.resize(32);
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    f.values[i] = 250.0 + 0.5 * static_cast<double>(i);
+  }
+  return f;
+}
+
+TEST(GribCodec, RoundTripWithinQuantisationBound) {
+  const Field f = small_field();
+  const auto encoded = encode(f);
+  ASSERT_TRUE(encoded.is_ok());
+  const auto decoded = decode(encoded.value());
+  ASSERT_TRUE(decoded.is_ok());
+  const Field& g = decoded.value();
+  ASSERT_EQ(g.nlat, f.nlat);
+  ASSERT_EQ(g.nlon, f.nlon);
+  const double bound = quantisation_error_bound(f);
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    EXPECT_NEAR(g.values[i], f.values[i], bound + 1e-12) << "point " << i;
+  }
+}
+
+TEST(GribCodec, ConstantFieldIsExact) {
+  Field f;
+  f.nlat = 3;
+  f.nlon = 3;
+  f.values.assign(9, 273.15);
+  const auto encoded = encode(f);
+  ASSERT_TRUE(encoded.is_ok());
+  const Field g = decode(encoded.value()).value();
+  for (const double v : g.values) EXPECT_DOUBLE_EQ(v, 273.15);
+}
+
+TEST(GribCodec, EncodedSizeMatchesPrediction) {
+  const Field f = small_field();
+  EncodeOptions opts;
+  for (const unsigned bits : {1u, 7u, 8u, 12u, 16u, 24u, 32u}) {
+    opts.bits_per_value = bits;
+    const auto encoded = encode(f, opts);
+    ASSERT_TRUE(encoded.is_ok()) << bits;
+    EXPECT_EQ(encoded.value().size(), encoded_size(f.nlat, f.nlon, opts)) << bits;
+  }
+}
+
+TEST(GribCodec, MorePrecisionLowersError) {
+  const Field f = small_field();
+  EncodeOptions lo;
+  lo.bits_per_value = 8;
+  EncodeOptions hi;
+  hi.bits_per_value = 24;
+  EXPECT_GT(quantisation_error_bound(f, lo), quantisation_error_bound(f, hi));
+}
+
+TEST(GribCodec, RejectsInvalidInput) {
+  Field f;
+  EXPECT_EQ(encode(f).status().code(), Errc::invalid);  // empty grid
+  f.nlat = 2;
+  f.nlon = 2;
+  f.values = {1.0, 2.0, 3.0};  // wrong count
+  EXPECT_EQ(encode(f).status().code(), Errc::invalid);
+  f.values = {1.0, 2.0, 3.0, std::nan("")};
+  EXPECT_EQ(encode(f).status().code(), Errc::invalid);
+  f.values = {1.0, 2.0, 3.0, 4.0};
+  EncodeOptions opts;
+  opts.bits_per_value = 0;
+  EXPECT_EQ(encode(f, opts).status().code(), Errc::invalid);
+  opts.bits_per_value = 33;
+  EXPECT_EQ(encode(f, opts).status().code(), Errc::invalid);
+}
+
+TEST(GribCodec, RejectsCorruptMessages) {
+  auto msg = encode(small_field()).value();
+  EXPECT_EQ(decode(nullptr, 0).status().code(), Errc::invalid);
+  EXPECT_EQ(decode(msg.data(), 8).status().code(), Errc::invalid);  // truncated
+
+  auto bad_magic = msg;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(decode(bad_magic).status().code(), Errc::invalid);
+
+  auto bad_version = msg;
+  bad_version[4] = 99;
+  EXPECT_EQ(decode(bad_version).status().code(), Errc::unsupported);
+
+  auto bad_trailer = msg;
+  bad_trailer.back() = 'x';
+  EXPECT_EQ(decode(bad_trailer).status().code(), Errc::invalid);
+
+  auto truncated = msg;
+  truncated.pop_back();
+  EXPECT_EQ(decode(truncated).status().code(), Errc::invalid);
+}
+
+// Property: round-trip error stays within the bound for every parameter
+// type and bit width.
+struct CodecCase {
+  Parameter parameter;
+  unsigned bits;
+};
+
+class CodecProperty : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecProperty, RoundTripBoundHolds) {
+  const auto [parameter, bits] = GetParam();
+  GeneratorOptions gen;
+  gen.parameter = parameter;
+  gen.nlat = 48;
+  gen.nlon = 96;
+  gen.seed = 7;
+  const Field f = generate_field(gen);
+
+  EncodeOptions opts;
+  opts.bits_per_value = bits;
+  const auto encoded = encode(f, opts);
+  ASSERT_TRUE(encoded.is_ok());
+  const Field g = decode(encoded.value()).value();
+  const double bound = quantisation_error_bound(f, opts);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    max_err = std::max(max_err, std::abs(g.values[i] - f.values[i]));
+  }
+  EXPECT_LE(max_err, bound * (1.0 + 1e-9) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamsAndWidths, CodecProperty,
+    ::testing::Values(CodecCase{Parameter::temperature, 8}, CodecCase{Parameter::temperature, 16},
+                      CodecCase{Parameter::temperature, 24}, CodecCase{Parameter::geopotential, 16},
+                      CodecCase{Parameter::wind_u, 12}, CodecCase{Parameter::specific_humidity, 16},
+                      CodecCase{Parameter::specific_humidity, 20}));
+
+TEST(FieldGenerator, PhysicallyPlausibleTemperature) {
+  GeneratorOptions gen;
+  gen.nlat = 64;
+  gen.nlon = 128;
+  const Field f = generate_field(gen);
+  double sum = 0.0;
+  for (const double v : f.values) {
+    EXPECT_GT(v, 150.0);
+    EXPECT_LT(v, 350.0);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(f.points());
+  EXPECT_GT(mean, 220.0);
+  EXPECT_LT(mean, 290.0);
+  // Warm equator, cold poles: equatorial band warmer than polar band.
+  double polar = 0.0;
+  double equatorial = 0.0;
+  for (std::uint32_t lo = 0; lo < f.nlon; ++lo) {
+    polar += f.at(0, lo);
+    equatorial += f.at(f.nlat / 2, lo);
+  }
+  EXPECT_GT(equatorial, polar + 10.0 * f.nlon);
+}
+
+TEST(FieldGenerator, HumidityNonNegative) {
+  GeneratorOptions gen;
+  gen.parameter = Parameter::specific_humidity;
+  gen.nlat = 32;
+  gen.nlon = 64;
+  const Field f = generate_field(gen);
+  for (const double v : f.values) EXPECT_GE(v, 0.0);
+}
+
+TEST(FieldGenerator, DeterministicPerSeedAndStep) {
+  GeneratorOptions gen;
+  gen.nlat = 16;
+  gen.nlon = 32;
+  const Field a = generate_field(gen);
+  const Field b = generate_field(gen);
+  EXPECT_EQ(a.values, b.values);
+  gen.step_hours = 6.0;
+  const Field c = generate_field(gen);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(FieldGenerator, GridSizingHitsTargetEncodedSize) {
+  for (const Bytes target : {1_MiB, 2_MiB, 5_MiB}) {
+    std::uint32_t nlat = 0;
+    std::uint32_t nlon = 0;
+    grid_for_encoded_size(target, nlat, nlon);
+    const Bytes actual = encoded_size(nlat, nlon);
+    EXPECT_GT(actual, target * 8 / 10);
+    EXPECT_LT(actual, target * 12 / 10);
+  }
+}
+
+TEST(FieldGenerator, ParameterNames) {
+  EXPECT_STREQ(parameter_name(Parameter::temperature), "t");
+  EXPECT_STREQ(parameter_name(Parameter::geopotential), "z");
+}
+
+}  // namespace
+}  // namespace nws::codec

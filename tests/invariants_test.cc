@@ -1,0 +1,192 @@
+// Cross-cutting invariant and stress tests over the whole stack.
+#include <gtest/gtest.h>
+
+#include "daos/client.h"
+#include "daos/cluster.h"
+#include "harness/experiment.h"
+#include "sim/when_all.h"
+
+namespace nws {
+namespace {
+
+using sim::Task;
+
+TEST(WhenAllTest, RunsChildrenConcurrently) {
+  sim::Scheduler sched;
+  auto sleeper = [](sim::Scheduler& s, sim::Duration d) -> Task<void> { co_await s.delay(d); };
+  std::vector<Task<void>> tasks;
+  for (int i = 1; i <= 4; ++i) tasks.push_back(sleeper(sched, sim::seconds(i)));
+  sched.spawn([](sim::Scheduler& s, std::vector<Task<void>> ts) -> Task<void> {
+    co_await sim::when_all(s, std::move(ts));
+  }(sched, std::move(tasks)));
+  sched.run();
+  EXPECT_EQ(sched.now(), sim::seconds(4));  // max, not sum
+}
+
+TEST(WhenAllTest, EmptySetCompletesImmediately) {
+  sim::Scheduler sched;
+  sched.spawn([](sim::Scheduler& s) -> Task<void> {
+    co_await sim::when_all(s, {});
+  }(sched));
+  sched.run();
+  EXPECT_EQ(sched.now(), 0);
+}
+
+TEST(WhenAllTest, FirstChildErrorPropagatesAfterAllSettle) {
+  sim::Scheduler sched;
+  auto thrower = [](sim::Scheduler& s) -> Task<void> {
+    co_await s.delay(sim::seconds(1));
+    throw std::runtime_error("child failed");
+  };
+  auto slow = [](sim::Scheduler& s) -> Task<void> { co_await s.delay(sim::seconds(3)); };
+  bool caught = false;
+  sim::TimePoint caught_at = -1;
+  sched.spawn([](sim::Scheduler& s, Task<void> a, Task<void> b, bool* flag,
+                 sim::TimePoint* when) -> Task<void> {
+    std::vector<Task<void>> ts;
+    ts.push_back(std::move(a));
+    ts.push_back(std::move(b));
+    try {
+      co_await sim::when_all(s, std::move(ts));
+    } catch (const std::runtime_error&) {
+      *flag = true;
+      *when = s.now();
+    }
+  }(sched, thrower(sched), slow(sched), &caught, &caught_at));
+  sched.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(caught_at, sim::seconds(3));  // waits for the slow child too
+}
+
+TEST(SchedulerStress, ManyTimersCancelHalf) {
+  sim::Scheduler sched;
+  int fired = 0;
+  std::vector<sim::Timer> timers;
+  for (int i = 1; i <= 2000; ++i) {
+    timers.push_back(sched.schedule_callback(sim::milliseconds(i), [&fired] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < timers.size(); i += 2) timers[i].cancel();
+  sched.run();
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(SchedulerStress, InterleavedSpawnsFromCallbacks) {
+  // Callbacks that spawn processes that schedule callbacks: the event loop
+  // must remain deterministic and drain fully.
+  sim::Scheduler sched;
+  int completed = 0;
+  std::function<void(int)> plant = [&](int depth) {
+    if (depth == 0) {
+      ++completed;
+      return;
+    }
+    sched.schedule_callback(sched.now() + sim::microseconds(10), [&, depth] {
+      sched.spawn([](sim::Scheduler& s, std::function<void(int)>& p, int d) -> Task<void> {
+        co_await s.delay(sim::microseconds(5));
+        p(d - 1);
+      }(sched, plant, depth));
+    });
+  };
+  for (int i = 0; i < 10; ++i) plant(5);
+  sched.run();
+  EXPECT_EQ(completed, 10);
+}
+
+// Byte conservation: every byte the workload writes and reads appears in
+// the flow scheduler's delivered-byte accounting (data + service bytes),
+// and the pool's capacity accounting matches exactly.
+class ConservationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservationProperty, FlowAndCapacityAccountingBalance) {
+  const int procs = GetParam();
+  sim::Scheduler sched;
+  daos::ClusterConfig cfg = bench::testbed_config(1, 1);
+  daos::Cluster cluster(sched, cfg);
+
+  const Bytes per_op = 1_MiB;
+  const int ops = 6;
+  auto writer = [](daos::Cluster& cl, int rank, int n, Bytes size) -> Task<void> {
+    daos::Client client(cl, cl.client_endpoint(0, static_cast<std::size_t>(rank)),
+                        static_cast<std::uint64_t>(rank));
+    daos::ContHandle cont = co_await client.main_cont_open();
+    for (int i = 0; i < n; ++i) {
+      const auto oid = daos::ObjectId::generate(static_cast<std::uint32_t>(rank),
+                                                static_cast<std::uint64_t>(i), daos::ObjectType::array,
+                                                daos::ObjectClass::S1);
+      auto arr = (co_await client.array_create(cont, oid, 1, 1_MiB)).value();
+      (co_await client.array_write(arr, 0, nullptr, size)).expect_ok("write");
+      auto n_read = co_await client.array_read(arr, 0, nullptr, size);
+      EXPECT_EQ(n_read.value(), size);
+      co_await client.array_close(arr);
+    }
+  };
+  for (int r = 0; r < procs; ++r) sched.spawn(writer(cluster, r, ops, per_op));
+  sched.run();
+
+  const double moved = static_cast<double>(procs) * ops * static_cast<double>(per_op);
+  // Flows carried at least the write + read payload (service flows add more).
+  EXPECT_GE(cluster.flows().stats().bytes_delivered, 2.0 * moved * 0.999);
+  // Every started flow completed; none leaked.
+  EXPECT_EQ(cluster.flows().stats().flows_started, cluster.flows().stats().flows_completed);
+  EXPECT_EQ(cluster.flows().active_flows(), 0u);
+  // Capacity: exactly the written bytes are charged.
+  EXPECT_EQ(cluster.pool_used(), static_cast<Bytes>(procs) * ops * per_op);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ConservationProperty, ::testing::Values(1, 4, 16));
+
+// The simulated clock is monotone through arbitrarily contended workloads
+// and wall-clock time roughly scales with work (sanity on the DES itself).
+TEST(ClockSanity, MoreWorkTakesMoreSimulatedTime) {
+  auto run_ops = [](int ops) {
+    sim::Scheduler sched;
+    daos::Cluster cluster(sched, bench::testbed_config(1, 1));
+    auto proc = [](daos::Cluster& cl, int n) -> Task<void> {
+      daos::Client client(cl, cl.client_endpoint(0, 0), 0);
+      daos::ContHandle cont = co_await client.main_cont_open();
+      for (int i = 0; i < n; ++i) {
+        const auto oid = daos::ObjectId::generate(9, static_cast<std::uint64_t>(i),
+                                                  daos::ObjectType::array, daos::ObjectClass::S1);
+        auto arr = (co_await client.array_create(cont, oid, 1, 1_MiB)).value();
+        (co_await client.array_write(arr, 0, nullptr, 1_MiB)).expect_ok("write");
+        co_await client.array_close(arr);
+      }
+    };
+    sched.spawn(proc(cluster, ops));
+    sched.run();
+    return sched.now();
+  };
+  const auto t10 = run_ops(10);
+  const auto t20 = run_ops(20);
+  EXPECT_GT(t20, t10);
+  EXPECT_NEAR(static_cast<double>(t20) / static_cast<double>(t10), 2.0, 0.5);
+}
+
+// Seeds change jitter but never change functional outcomes.
+TEST(SeedInvariance, FunctionalResultsIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    sim::Scheduler sched;
+    daos::ClusterConfig cfg = bench::testbed_config(1, 1);
+    cfg.seed = seed;
+    cfg.payload_mode = daos::PayloadMode::full;
+    daos::Cluster cluster(sched, cfg);
+    auto proc = [](daos::Cluster& cl) -> Task<void> {
+      daos::Client client(cl, cl.client_endpoint(0, 0), 7);
+      daos::ContHandle cont = co_await client.main_cont_open();
+      const auto oid =
+          daos::ObjectId::generate(1, 1, daos::ObjectType::array, daos::ObjectClass::S2);
+      auto arr = (co_await client.array_create(cont, oid, 1, 1_MiB)).value();
+      std::vector<std::uint8_t> data(123456);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+      (co_await client.array_write(arr, 0, data.data(), data.size())).expect_ok("write");
+      std::vector<std::uint8_t> out(data.size());
+      EXPECT_EQ((co_await client.array_read(arr, 0, out.data(), out.size())).value(), data.size());
+      EXPECT_EQ(out, data);
+    };
+    sched.spawn(proc(cluster));
+    sched.run();
+  }
+}
+
+}  // namespace
+}  // namespace nws

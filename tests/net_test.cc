@@ -1,0 +1,391 @@
+// Unit and property tests for the flow-level network model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/provider.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+
+namespace nws::net {
+namespace {
+
+using nws::operator""_MiB;
+using nws::operator""_KiB;
+
+struct Fixture {
+  sim::Scheduler sched;
+  FlowScheduler flows{sched};
+};
+
+Link plain_link(const std::string& name, double capacity) {
+  Link l;
+  l.name = name;
+  l.raw_capacity = capacity;
+  return l;
+}
+
+sim::Task<void> run_transfer(FlowScheduler& fs, std::vector<LinkId> path, nws::Bytes bytes, double cap,
+                             sim::TimePoint* done_at, sim::Scheduler* sched) {
+  co_await fs.transfer(std::move(path), bytes, cap);
+  *done_at = sched->now();
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(EfficiencyCurveTest, InterpolatesAndClamps) {
+  const EfficiencyCurve c({{1, 10.0}, {3, 20.0}, {5, 30.0}});
+  EXPECT_DOUBLE_EQ(c.evaluate(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(c.evaluate(1), 10.0);
+  EXPECT_DOUBLE_EQ(c.evaluate(2), 15.0);
+  EXPECT_DOUBLE_EQ(c.evaluate(4), 25.0);
+  EXPECT_DOUBLE_EQ(c.evaluate(9), 30.0);
+}
+
+TEST(EfficiencyCurveTest, RejectsUnsortedPoints) {
+  EXPECT_THROW(EfficiencyCurve({{2, 1.0}, {1, 2.0}}), std::invalid_argument);
+}
+
+TEST(EfficiencyCurveTest, EmptyEvaluateThrows) {
+  const EfficiencyCurve c;
+  EXPECT_THROW((void)c.evaluate(1), std::logic_error);
+}
+
+TEST(FlowSchedulerTest, SingleFlowUsesFullLink) {
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));  // 100 B/s
+  sim::TimePoint done = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 1000, kInf, &done, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(done, sim::seconds(10.0));
+  EXPECT_EQ(fx.flows.stats().flows_completed, 1u);
+  EXPECT_DOUBLE_EQ(fx.flows.stats().bytes_delivered, 1000.0);
+}
+
+TEST(FlowSchedulerTest, TwoFlowsShareFairly) {
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint a = -1;
+  sim::TimePoint b = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 1000, kInf, &a, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 1000, kInf, &b, &fx.sched));
+  fx.sched.run();
+  // Both at 50 B/s -> 20 s.
+  EXPECT_EQ(a, sim::seconds(20.0));
+  EXPECT_EQ(b, sim::seconds(20.0));
+}
+
+TEST(FlowSchedulerTest, ShortFlowReleasesBandwidthToLongFlow) {
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint small = -1;
+  sim::TimePoint large = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 500, kInf, &small, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 1500, kInf, &large, &fx.sched));
+  fx.sched.run();
+  // Phase 1: both at 50 B/s for 10 s (small done, large has 1000 left).
+  // Phase 2: large at 100 B/s for 10 s.
+  EXPECT_EQ(small, sim::seconds(10.0));
+  EXPECT_EQ(large, sim::seconds(20.0));
+}
+
+TEST(FlowSchedulerTest, PerFlowCapHonoured) {
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint done = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 1000, 10.0, &done, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(done, sim::seconds(100.0));
+}
+
+TEST(FlowSchedulerTest, MaxMinRedistributesCappedHeadroom) {
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint capped = -1;
+  sim::TimePoint open1 = -1;
+  sim::TimePoint open2 = -1;
+  // Capped flow takes 10 B/s; the two open flows split the remaining 90.
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 100, 10.0, &capped, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 450, kInf, &open1, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 450, kInf, &open2, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(capped, sim::seconds(10.0));
+  EXPECT_EQ(open1, sim::seconds(10.0));
+  EXPECT_EQ(open2, sim::seconds(10.0));
+}
+
+TEST(FlowSchedulerTest, MultiLinkBottleneck) {
+  Fixture fx;
+  const LinkId fat = fx.flows.add_link(plain_link("fat", 1000.0));
+  const LinkId thin = fx.flows.add_link(plain_link("thin", 10.0));
+  sim::TimePoint done = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {fat, thin}, 100, kInf, &done, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(done, sim::seconds(10.0));
+}
+
+TEST(FlowSchedulerTest, DisjointFlowsDoNotInterfere) {
+  Fixture fx;
+  const LinkId l1 = fx.flows.add_link(plain_link("l1", 100.0));
+  const LinkId l2 = fx.flows.add_link(plain_link("l2", 100.0));
+  sim::TimePoint a = -1;
+  sim::TimePoint b = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {l1}, 1000, kInf, &a, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {l2}, 1000, kInf, &b, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(a, sim::seconds(10.0));
+  EXPECT_EQ(b, sim::seconds(10.0));
+}
+
+TEST(FlowSchedulerTest, EmptyPathCompletesImmediately) {
+  Fixture fx;
+  sim::TimePoint done = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {}, 1000, kInf, &done, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(FlowSchedulerTest, ZeroByteTransferCompletesImmediately) {
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint done = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 0, kInf, &done, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(FlowSchedulerTest, UnknownLinkRejected) {
+  Fixture fx;
+  sim::TimePoint done = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {42}, 10, kInf, &done, &fx.sched));
+  EXPECT_THROW(fx.sched.run(), std::out_of_range);
+}
+
+TEST(FlowSchedulerTest, NonPositiveCapacityRejected) {
+  Fixture fx;
+  EXPECT_THROW(fx.flows.add_link(plain_link("bad", 0.0)), std::invalid_argument);
+}
+
+TEST(FlowSchedulerTest, EfficiencyCurveReducesAggregate) {
+  Fixture fx;
+  Link l = plain_link("nic", 125.0);
+  // 1 stream: 31; 2 streams: 41 aggregate (mini Table 2 shape).
+  l.efficiency = EfficiencyCurve({{1, 31.0}, {2, 41.0}});
+  const LinkId link = fx.flows.add_link(std::move(l));
+  sim::TimePoint a = -1;
+  sim::TimePoint b = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 310, kInf, &a, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(a, sim::seconds(10.0));  // single stream at 31 B/s
+
+  sim::Scheduler sched2;
+  FlowScheduler flows2(sched2);
+  Link l2 = plain_link("nic", 125.0);
+  l2.efficiency = EfficiencyCurve({{1, 31.0}, {2, 41.0}});
+  const LinkId link2 = flows2.add_link(std::move(l2));
+  sched2.spawn(run_transfer(flows2, {link2}, 205, kInf, &a, &sched2));
+  sched2.spawn(run_transfer(flows2, {link2}, 205, kInf, &b, &sched2));
+  sched2.run();
+  EXPECT_EQ(a, sim::seconds(10.0));  // two streams at 20.5 B/s each
+  EXPECT_EQ(b, sim::seconds(10.0));
+}
+
+// Property sweep: N equal flows through one link must each get capacity/N
+// (conservation + fairness), regardless of N.
+class FlowFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowFairness, EqualFlowsSplitEqually) {
+  const int n = GetParam();
+  Fixture fx;
+  fx.flows.set_lazy_recompute(std::numeric_limits<std::size_t>::max(), 1);  // exact solver
+  const LinkId link = fx.flows.add_link(plain_link("l", 1000.0));
+  std::vector<sim::TimePoint> done(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    fx.sched.spawn(run_transfer(fx.flows, {link}, 1000, kInf, &done[static_cast<std::size_t>(i)], &fx.sched));
+  }
+  fx.sched.run();
+  for (const auto t : done) EXPECT_EQ(t, sim::seconds(static_cast<double>(n)));
+  EXPECT_DOUBLE_EQ(fx.flows.stats().bytes_delivered, 1000.0 * n);
+  EXPECT_EQ(fx.flows.stats().peak_concurrent, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FlowFairness, ::testing::Values(1, 2, 3, 7, 16, 64, 256));
+
+// The bounded-staleness mode must conserve bytes exactly and approximate
+// the exact completion time closely.
+TEST(FlowSchedulerTest, LazyRecomputeStaysCloseToExact) {
+  auto run_with = [](std::size_t threshold) {
+    sim::Scheduler sched;
+    FlowScheduler flows(sched);
+    flows.set_lazy_recompute(threshold, 12);
+    const LinkId link = flows.add_link(plain_link("l", 1000.0));
+    const int n = 400;
+    auto done = std::make_shared<std::vector<sim::TimePoint>>(n, -1);
+    for (int i = 0; i < n; ++i) {
+      // Staggered arrivals so the flow set keeps churning.
+      auto proc = [](sim::Scheduler& s, FlowScheduler& fs, LinkId l, sim::TimePoint* out,
+                     int idx) -> sim::Task<void> {
+        co_await s.delay(sim::milliseconds(static_cast<double>(idx)));
+        std::vector<LinkId> path{l};
+        co_await fs.transfer(std::move(path), 500, kInf);
+        *out = s.now();
+      };
+      sched.spawn(proc(sched, flows, link, &(*done)[static_cast<std::size_t>(i)], i));
+    }
+    sched.run();
+    double total = flows.stats().bytes_delivered;
+    return std::pair<double, sim::TimePoint>(total, sched.now());
+  };
+  const auto exact = run_with(std::numeric_limits<std::size_t>::max());
+  const auto lazy = run_with(64);
+  EXPECT_DOUBLE_EQ(exact.first, lazy.first);  // bytes conserved exactly
+  const double exact_t = static_cast<double>(exact.second);
+  const double lazy_t = static_cast<double>(lazy.second);
+  EXPECT_NEAR(lazy_t / exact_t, 1.0, 0.05);  // completion time within 5%
+}
+
+TEST(ProviderTest, TcpStreamCurveMatchesTable2Row) {
+  const ProviderProfile tcp = tcp_provider();
+  // Single-stream optimum ~3.1 GiB/s in the low-MiB range (Table 2 row 2).
+  double best = 0.0;
+  for (const nws::Bytes s : {256_KiB, 512_KiB, 1_MiB, 2_MiB, 4_MiB, 8_MiB, 16_MiB, 32_MiB}) {
+    best = std::max(best, tcp.stream_rate_cap(s));
+  }
+  EXPECT_NEAR(to_gib_per_sec(best), 3.1, 0.15);
+  // Large transfers are slower than the optimum.
+  EXPECT_LT(tcp.stream_rate_cap(32_MiB), best);
+  // Tiny transfers are latency-bound.
+  EXPECT_LT(tcp.stream_rate_cap(64_KiB), 0.8 * best);
+}
+
+TEST(ProviderTest, Psm2StreamNearsAdapterLimit) {
+  const ProviderProfile psm2 = psm2_provider();
+  EXPECT_NEAR(to_gib_per_sec(psm2.stream_rate_cap(8_MiB)), 12.1, 0.2);
+  EXPECT_LT(psm2.stream_rate_cap(8_MiB), gib_per_sec(12.5));
+}
+
+TEST(ProviderTest, TcpAggregateCurveMatchesTable2) {
+  const ProviderProfile tcp = tcp_provider();
+  EXPECT_NEAR(to_gib_per_sec(tcp.nic_curve.evaluate(1)), 3.1, 0.01);
+  EXPECT_NEAR(to_gib_per_sec(tcp.nic_curve.evaluate(8)), 9.5, 0.01);
+  EXPECT_NEAR(to_gib_per_sec(tcp.nic_curve.evaluate(16)), 9.0, 0.01);
+  // Degradation past 8 streams (Table 2: 16 pairs slower than 8).
+  EXPECT_GT(to_gib_per_sec(tcp.nic_curve.evaluate(8)), to_gib_per_sec(tcp.nic_curve.evaluate(16)));
+}
+
+TEST(ProviderTest, LookupByName) {
+  EXPECT_EQ(provider_by_name("tcp").name, "tcp");
+  EXPECT_EQ(provider_by_name("psm2").name, "psm2");
+  EXPECT_THROW(provider_by_name("verbs"), std::invalid_argument);
+  EXPECT_FALSE(provider_by_name("psm2").supports_dual_rail);
+  EXPECT_TRUE(provider_by_name("tcp").supports_dual_rail);
+}
+
+TEST(TopologyTest, PathsFollowRails) {
+  sim::Scheduler sched;
+  FlowScheduler flows(sched);
+  TopologyConfig cfg;
+  cfg.nodes = 2;
+  cfg.provider = tcp_provider();
+  const Topology topo(flows, cfg);
+
+  // Same rail: tx + rx only.
+  const auto same_rail = topo.path({0, 0}, {1, 0});
+  ASSERT_EQ(same_rail.size(), 2u);
+  EXPECT_EQ(same_rail[0], topo.nic_tx({0, 0}));
+  EXPECT_EQ(same_rail[1], topo.nic_rx({1, 0}));
+
+  // Cross rail: enters on sender's rail, crosses destination UPI.
+  const auto cross_rail = topo.path({0, 0}, {1, 1});
+  ASSERT_EQ(cross_rail.size(), 3u);
+  EXPECT_EQ(cross_rail[0], topo.nic_tx({0, 0}));
+  EXPECT_EQ(cross_rail[1], topo.nic_rx({1, 0}));  // same-rail NIC on destination
+  EXPECT_EQ(cross_rail[2], topo.upi(1));
+
+  // Same node, different socket: UPI only, no fabric.
+  const auto intra = topo.path({0, 0}, {0, 1});
+  ASSERT_EQ(intra.size(), 1u);
+  EXPECT_EQ(intra[0], topo.upi(0));
+
+  // Same endpoint: no links.
+  EXPECT_TRUE(topo.path({0, 1}, {0, 1}).empty());
+}
+
+TEST(TopologyTest, LatencyOrdering) {
+  sim::Scheduler sched;
+  FlowScheduler flows(sched);
+  TopologyConfig cfg;
+  cfg.nodes = 2;
+  cfg.provider = tcp_provider();
+  const Topology topo(flows, cfg);
+  EXPECT_LT(topo.latency({0, 0}, {0, 0}), topo.latency({0, 0}, {0, 1}));
+  EXPECT_LT(topo.latency({0, 0}, {0, 1}), topo.latency({0, 0}, {1, 0}));
+  EXPECT_LT(topo.latency({0, 0}, {1, 0}), topo.latency({0, 0}, {1, 1}));
+}
+
+TEST(TopologyTest, RejectsBadEndpoints) {
+  sim::Scheduler sched;
+  FlowScheduler flows(sched);
+  TopologyConfig cfg;
+  cfg.nodes = 1;
+  cfg.provider = tcp_provider();
+  const Topology topo(flows, cfg);
+  EXPECT_THROW((void)topo.nic_tx({1, 0}), std::out_of_range);
+  EXPECT_THROW((void)topo.nic_tx({0, 2}), std::out_of_range);
+}
+
+TEST(TopologyTest, PsmLatencyBelowTcp) {
+  sim::Scheduler s1;
+  FlowScheduler f1(s1);
+  TopologyConfig c1;
+  c1.nodes = 2;
+  c1.provider = tcp_provider();
+  const Topology t1(f1, c1);
+
+  sim::Scheduler s2;
+  FlowScheduler f2(s2);
+  TopologyConfig c2;
+  c2.nodes = 2;
+  c2.provider = psm2_provider();
+  const Topology t2(f2, c2);
+
+  EXPECT_LT(t2.latency({0, 0}, {1, 0}), t1.latency({0, 0}, {1, 0}));
+}
+
+// End-to-end sanity: a TCP transfer between two nodes should deliver about
+// 3.1 GiB/s for one stream and ~9.5 GiB/s aggregate for 8 streams.
+class TcpStreamScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpStreamScaling, AggregateTracksTable2) {
+  const int streams = GetParam();
+  sim::Scheduler sched;
+  FlowScheduler flows(sched);
+  TopologyConfig cfg;
+  cfg.nodes = 2;
+  cfg.provider = tcp_provider();
+  const Topology topo(flows, cfg);
+
+  const nws::Bytes per_stream = 64_MiB;
+  std::vector<sim::TimePoint> done(static_cast<std::size_t>(streams), -1);
+  for (int i = 0; i < streams; ++i) {
+    auto path = topo.path({0, 0}, {1, 0});
+    const double cap = cfg.provider.stream_rate_cap(2_MiB);  // chunked at optimum
+    sched.spawn(run_transfer(flows, std::move(path), per_stream, cap, &done[static_cast<std::size_t>(i)],
+                             &sched));
+  }
+  sched.run();
+  sim::TimePoint last = 0;
+  for (const auto t : done) last = std::max(last, t);
+  const double aggregate =
+      static_cast<double>(per_stream) * streams / sim::to_seconds(last);
+  const double expected = std::min(static_cast<double>(streams) * cfg.provider.stream_rate_cap(2_MiB),
+                                   cfg.provider.nic_curve.evaluate(streams));
+  EXPECT_NEAR(to_gib_per_sec(aggregate), to_gib_per_sec(expected), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(StreamCounts, TcpStreamScaling, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace nws::net

@@ -1,0 +1,122 @@
+// Unit and property tests for the SCM (Optane DCPMM) model.
+#include <gtest/gtest.h>
+
+#include "scm/scm.h"
+
+#include "common/rng.h"
+
+namespace nws::scm {
+namespace {
+
+using nws::operator""_KiB;
+using nws::operator""_MiB;
+using nws::operator""_GiB;
+
+DcpmmSpec tiny_spec() {
+  DcpmmSpec spec;
+  spec.capacity = 4_MiB;
+  return spec;
+}
+
+TEST(ScmRegionTest, NextGenIoSocketGeometry) {
+  // Paper 6.1: six 256 GiB first-generation DCPMMs per socket, AppDirect
+  // interleaved.
+  const ScmRegion region("sock0", DcpmmSpec{}, 6);
+  EXPECT_EQ(region.capacity(), 1536_GiB);
+  EXPECT_EQ(region.modules(), 6u);
+  // Interleaving aggregates module bandwidth; reads ~3x writes.
+  EXPECT_DOUBLE_EQ(region.read_bandwidth(), 6.0 * gib_per_sec(6.0));
+  EXPECT_DOUBLE_EQ(region.write_bandwidth(), 6.0 * gib_per_sec(2.0));
+  EXPECT_GT(region.read_bandwidth(), 2.5 * region.write_bandwidth());
+  // SCM latency sits between DRAM and NVMe: sub-microsecond.
+  EXPECT_LT(region.read_latency(), sim::microseconds(1));
+  EXPECT_GT(region.read_latency(), region.write_latency());  // ADR hides write latency
+}
+
+TEST(ScmRegionTest, AllocateTracksUsage) {
+  ScmRegion region("r", tiny_spec(), 2);  // 8 MiB
+  EXPECT_EQ(region.available(), 8_MiB);
+  const auto a = region.allocate(3_MiB);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(region.used(), 3_MiB);
+  EXPECT_EQ(region.available(), 5_MiB);
+  const auto b = region.allocate(5_MiB);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(region.available(), 0u);
+  EXPECT_EQ(region.allocation_count(), 2u);
+  EXPECT_EQ(region.allocation_size(a.value()), 3_MiB);
+}
+
+TEST(ScmRegionTest, ExhaustionReturnsNoSpace) {
+  ScmRegion region("r", tiny_spec(), 1);  // 4 MiB
+  EXPECT_TRUE(region.allocate(4_MiB).is_ok());
+  const auto overflow = region.allocate(1);
+  ASSERT_FALSE(overflow.is_ok());
+  EXPECT_EQ(overflow.status().code(), Errc::no_space);
+}
+
+TEST(ScmRegionTest, FreeReturnsSpace) {
+  ScmRegion region("r", tiny_spec(), 1);
+  const auto a = region.allocate(4_MiB);
+  ASSERT_TRUE(a.is_ok());
+  region.free(a.value());
+  EXPECT_EQ(region.used(), 0u);
+  EXPECT_TRUE(region.allocate(4_MiB).is_ok());
+}
+
+TEST(ScmRegionTest, DoubleFreeIsALogicError) {
+  ScmRegion region("r", tiny_spec(), 1);
+  const auto a = region.allocate(1_MiB);
+  region.free(a.value());
+  EXPECT_THROW(region.free(a.value()), std::logic_error);
+  EXPECT_THROW((void)region.allocation_size(a.value()), std::out_of_range);
+}
+
+TEST(ScmRegionTest, ZeroSizeAllocationInvalid) {
+  ScmRegion region("r", tiny_spec(), 1);
+  EXPECT_EQ(region.allocate(0).status().code(), Errc::invalid);
+}
+
+TEST(ScmRegionTest, InvalidConstruction) {
+  EXPECT_THROW(ScmRegion("r", tiny_spec(), 0), std::invalid_argument);
+  DcpmmSpec zero;
+  zero.capacity = 0;
+  EXPECT_THROW(ScmRegion("r", zero, 1), std::invalid_argument);
+}
+
+// Property: any interleaving of allocations and frees conserves capacity.
+class ScmChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScmChurn, AllocationAccountingBalances) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  ScmRegion region("r", DcpmmSpec{.capacity = 64_MiB}, 4);  // 256 MiB
+  std::vector<std::pair<std::uint64_t, Bytes>> live;
+  Bytes expected_used = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (live.empty() || rng.next_double() < 0.6) {
+      const Bytes size = (1 + rng.next_below(8)) * 1_MiB;
+      const auto alloc = region.allocate(size);
+      if (alloc.is_ok()) {
+        live.emplace_back(alloc.value(), size);
+        expected_used += size;
+      } else {
+        EXPECT_EQ(alloc.status().code(), Errc::no_space);
+        EXPECT_GT(size, region.available());
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      region.free(live[pick].first);
+      expected_used -= live[pick].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(region.used(), expected_used);
+    ASSERT_EQ(region.allocation_count(), live.size());
+    ASSERT_LE(region.used(), region.capacity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScmChurn, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace nws::scm
