@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transfer_scheme"
+  "../bench/ablation_transfer_scheme.pdb"
+  "CMakeFiles/ablation_transfer_scheme.dir/ablation_transfer_scheme.cc.o"
+  "CMakeFiles/ablation_transfer_scheme.dir/ablation_transfer_scheme.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

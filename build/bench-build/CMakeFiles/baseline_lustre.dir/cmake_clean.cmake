@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_lustre"
+  "../bench/baseline_lustre.pdb"
+  "CMakeFiles/baseline_lustre.dir/baseline_lustre.cc.o"
+  "CMakeFiles/baseline_lustre.dir/baseline_lustre.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_ior_scaling"
+  "../bench/fig3_ior_scaling.pdb"
+  "CMakeFiles/fig3_ior_scaling.dir/fig3_ior_scaling.cc.o"
+  "CMakeFiles/fig3_ior_scaling.dir/fig3_ior_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ior_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

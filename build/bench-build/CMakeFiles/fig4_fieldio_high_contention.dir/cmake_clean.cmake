@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_fieldio_high_contention"
+  "../bench/fig4_fieldio_high_contention.pdb"
+  "CMakeFiles/fig4_fieldio_high_contention.dir/fig4_fieldio_high_contention.cc.o"
+  "CMakeFiles/fig4_fieldio_high_contention.dir/fig4_fieldio_high_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fieldio_high_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_fieldio_low_contention"
+  "../bench/fig5_fieldio_low_contention.pdb"
+  "CMakeFiles/fig5_fieldio_low_contention.dir/fig5_fieldio_low_contention.cc.o"
+  "CMakeFiles/fig5_fieldio_low_contention.dir/fig5_fieldio_low_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fieldio_low_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

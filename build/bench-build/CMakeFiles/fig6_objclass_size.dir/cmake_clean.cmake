@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_objclass_size"
+  "../bench/fig6_objclass_size.pdb"
+  "CMakeFiles/fig6_objclass_size.dir/fig6_objclass_size.cc.o"
+  "CMakeFiles/fig6_objclass_size.dir/fig6_objclass_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_objclass_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_tcp_vs_psm2"
+  "../bench/fig7_tcp_vs_psm2.pdb"
+  "CMakeFiles/fig7_tcp_vs_psm2.dir/fig7_tcp_vs_psm2.cc.o"
+  "CMakeFiles/fig7_tcp_vs_psm2.dir/fig7_tcp_vs_psm2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tcp_vs_psm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

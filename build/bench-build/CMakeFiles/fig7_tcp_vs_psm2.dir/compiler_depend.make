@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_tcp_vs_psm2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/projection_future_volumes"
+  "../bench/projection_future_volumes.pdb"
+  "CMakeFiles/projection_future_volumes.dir/projection_future_volumes.cc.o"
+  "CMakeFiles/projection_future_volumes.dir/projection_future_volumes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_future_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

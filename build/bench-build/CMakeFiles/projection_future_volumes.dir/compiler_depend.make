@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for projection_future_volumes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for projection_future_volumes.
+# This may be replaced when dependencies are built.

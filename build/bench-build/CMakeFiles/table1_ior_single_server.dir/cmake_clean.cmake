@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_ior_single_server"
+  "../bench/table1_ior_single_server.pdb"
+  "CMakeFiles/table1_ior_single_server.dir/table1_ior_single_server.cc.o"
+  "CMakeFiles/table1_ior_single_server.dir/table1_ior_single_server.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ior_single_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

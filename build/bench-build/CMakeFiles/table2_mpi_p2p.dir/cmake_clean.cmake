@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_mpi_p2p"
+  "../bench/table2_mpi_p2p.pdb"
+  "CMakeFiles/table2_mpi_p2p.dir/table2_mpi_p2p.cc.o"
+  "CMakeFiles/table2_mpi_p2p.dir/table2_mpi_p2p.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mpi_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_forecast.dir/end_to_end_forecast.cpp.o"
+  "CMakeFiles/end_to_end_forecast.dir/end_to_end_forecast.cpp.o.d"
+  "end_to_end_forecast"
+  "end_to_end_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldio_cli.dir/fieldio_cli.cpp.o"
+  "CMakeFiles/fieldio_cli.dir/fieldio_cli.cpp.o.d"
+  "fieldio_cli"
+  "fieldio_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

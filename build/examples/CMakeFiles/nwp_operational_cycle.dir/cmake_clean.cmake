@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwp_operational_cycle.dir/nwp_operational_cycle.cpp.o"
+  "CMakeFiles/nwp_operational_cycle.dir/nwp_operational_cycle.cpp.o.d"
+  "nwp_operational_cycle"
+  "nwp_operational_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwp_operational_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

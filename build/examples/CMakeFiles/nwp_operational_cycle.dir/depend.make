@@ -1,0 +1,2 @@
+# Empty dependencies file for nwp_operational_cycle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("codec")
+subdirs("sim")
+subdirs("net")
+subdirs("scm")
+subdirs("daos")
+subdirs("fdb")
+subdirs("ior")
+subdirs("mpibench")
+subdirs("harness")
+subdirs("lustre")
+subdirs("ioserver")

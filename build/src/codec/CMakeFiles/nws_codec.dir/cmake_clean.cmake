@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_codec.dir/field_generator.cc.o"
+  "CMakeFiles/nws_codec.dir/field_generator.cc.o.d"
+  "CMakeFiles/nws_codec.dir/grib.cc.o"
+  "CMakeFiles/nws_codec.dir/grib.cc.o.d"
+  "libnws_codec.a"
+  "libnws_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

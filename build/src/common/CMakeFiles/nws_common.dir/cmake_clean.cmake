@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_common.dir/cli.cc.o"
+  "CMakeFiles/nws_common.dir/cli.cc.o.d"
+  "CMakeFiles/nws_common.dir/log.cc.o"
+  "CMakeFiles/nws_common.dir/log.cc.o.d"
+  "CMakeFiles/nws_common.dir/md5.cc.o"
+  "CMakeFiles/nws_common.dir/md5.cc.o.d"
+  "CMakeFiles/nws_common.dir/stats.cc.o"
+  "CMakeFiles/nws_common.dir/stats.cc.o.d"
+  "CMakeFiles/nws_common.dir/status.cc.o"
+  "CMakeFiles/nws_common.dir/status.cc.o.d"
+  "CMakeFiles/nws_common.dir/table.cc.o"
+  "CMakeFiles/nws_common.dir/table.cc.o.d"
+  "CMakeFiles/nws_common.dir/units.cc.o"
+  "CMakeFiles/nws_common.dir/units.cc.o.d"
+  "libnws_common.a"
+  "libnws_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

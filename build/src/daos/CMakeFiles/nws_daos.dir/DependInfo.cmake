@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daos/client.cc" "src/daos/CMakeFiles/nws_daos.dir/client.cc.o" "gcc" "src/daos/CMakeFiles/nws_daos.dir/client.cc.o.d"
+  "/root/repo/src/daos/cluster.cc" "src/daos/CMakeFiles/nws_daos.dir/cluster.cc.o" "gcc" "src/daos/CMakeFiles/nws_daos.dir/cluster.cc.o.d"
+  "/root/repo/src/daos/event_queue.cc" "src/daos/CMakeFiles/nws_daos.dir/event_queue.cc.o" "gcc" "src/daos/CMakeFiles/nws_daos.dir/event_queue.cc.o.d"
+  "/root/repo/src/daos/object_id.cc" "src/daos/CMakeFiles/nws_daos.dir/object_id.cc.o" "gcc" "src/daos/CMakeFiles/nws_daos.dir/object_id.cc.o.d"
+  "/root/repo/src/daos/objects.cc" "src/daos/CMakeFiles/nws_daos.dir/objects.cc.o" "gcc" "src/daos/CMakeFiles/nws_daos.dir/objects.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nws_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/scm/CMakeFiles/nws_scm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

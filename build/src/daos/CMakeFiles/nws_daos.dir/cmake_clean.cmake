@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_daos.dir/client.cc.o"
+  "CMakeFiles/nws_daos.dir/client.cc.o.d"
+  "CMakeFiles/nws_daos.dir/cluster.cc.o"
+  "CMakeFiles/nws_daos.dir/cluster.cc.o.d"
+  "CMakeFiles/nws_daos.dir/event_queue.cc.o"
+  "CMakeFiles/nws_daos.dir/event_queue.cc.o.d"
+  "CMakeFiles/nws_daos.dir/object_id.cc.o"
+  "CMakeFiles/nws_daos.dir/object_id.cc.o.d"
+  "CMakeFiles/nws_daos.dir/objects.cc.o"
+  "CMakeFiles/nws_daos.dir/objects.cc.o.d"
+  "libnws_daos.a"
+  "libnws_daos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_daos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nws_daos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdb/catalogue.cc" "src/fdb/CMakeFiles/nws_fdb.dir/catalogue.cc.o" "gcc" "src/fdb/CMakeFiles/nws_fdb.dir/catalogue.cc.o.d"
+  "/root/repo/src/fdb/field_io.cc" "src/fdb/CMakeFiles/nws_fdb.dir/field_io.cc.o" "gcc" "src/fdb/CMakeFiles/nws_fdb.dir/field_io.cc.o.d"
+  "/root/repo/src/fdb/field_key.cc" "src/fdb/CMakeFiles/nws_fdb.dir/field_key.cc.o" "gcc" "src/fdb/CMakeFiles/nws_fdb.dir/field_key.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/daos/CMakeFiles/nws_daos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nws_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/scm/CMakeFiles/nws_scm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_fdb.dir/catalogue.cc.o"
+  "CMakeFiles/nws_fdb.dir/catalogue.cc.o.d"
+  "CMakeFiles/nws_fdb.dir/field_io.cc.o"
+  "CMakeFiles/nws_fdb.dir/field_io.cc.o.d"
+  "CMakeFiles/nws_fdb.dir/field_key.cc.o"
+  "CMakeFiles/nws_fdb.dir/field_key.cc.o.d"
+  "libnws_fdb.a"
+  "libnws_fdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_fdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

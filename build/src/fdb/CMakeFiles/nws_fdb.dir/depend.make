@@ -1,0 +1,2 @@
+# Empty dependencies file for nws_fdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_harness.dir/experiment.cc.o"
+  "CMakeFiles/nws_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/nws_harness.dir/field_bench.cc.o"
+  "CMakeFiles/nws_harness.dir/field_bench.cc.o.d"
+  "libnws_harness.a"
+  "libnws_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_metrics.dir/io_log.cc.o"
+  "CMakeFiles/nws_metrics.dir/io_log.cc.o.d"
+  "libnws_metrics.a"
+  "libnws_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

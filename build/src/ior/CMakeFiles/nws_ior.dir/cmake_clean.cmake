@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_ior.dir/ior.cc.o"
+  "CMakeFiles/nws_ior.dir/ior.cc.o.d"
+  "libnws_ior.a"
+  "libnws_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_ioserver.dir/ioserver.cc.o"
+  "CMakeFiles/nws_ioserver.dir/ioserver.cc.o.d"
+  "libnws_ioserver.a"
+  "libnws_ioserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_ioserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_lustre.dir/lustre.cc.o"
+  "CMakeFiles/nws_lustre.dir/lustre.cc.o.d"
+  "libnws_lustre.a"
+  "libnws_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

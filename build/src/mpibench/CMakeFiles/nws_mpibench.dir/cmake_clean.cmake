@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_mpibench.dir/mpibench.cc.o"
+  "CMakeFiles/nws_mpibench.dir/mpibench.cc.o.d"
+  "libnws_mpibench.a"
+  "libnws_mpibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_mpibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

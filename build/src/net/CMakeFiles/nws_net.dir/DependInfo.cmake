@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/nws_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/nws_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/nws_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/nws_net.dir/link.cc.o.d"
+  "/root/repo/src/net/provider.cc" "src/net/CMakeFiles/nws_net.dir/provider.cc.o" "gcc" "src/net/CMakeFiles/nws_net.dir/provider.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/nws_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/nws_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nws_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_net.dir/flow.cc.o"
+  "CMakeFiles/nws_net.dir/flow.cc.o.d"
+  "CMakeFiles/nws_net.dir/link.cc.o"
+  "CMakeFiles/nws_net.dir/link.cc.o.d"
+  "CMakeFiles/nws_net.dir/provider.cc.o"
+  "CMakeFiles/nws_net.dir/provider.cc.o.d"
+  "CMakeFiles/nws_net.dir/topology.cc.o"
+  "CMakeFiles/nws_net.dir/topology.cc.o.d"
+  "libnws_net.a"
+  "libnws_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_scm.dir/scm.cc.o"
+  "CMakeFiles/nws_scm.dir/scm.cc.o.d"
+  "libnws_scm.a"
+  "libnws_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

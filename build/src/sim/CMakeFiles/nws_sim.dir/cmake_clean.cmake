@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_sim.dir/scheduler.cc.o"
+  "CMakeFiles/nws_sim.dir/scheduler.cc.o.d"
+  "libnws_sim.a"
+  "libnws_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

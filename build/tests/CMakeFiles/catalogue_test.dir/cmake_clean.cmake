@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalogue_test.dir/catalogue_test.cc.o"
+  "CMakeFiles/catalogue_test.dir/catalogue_test.cc.o.d"
+  "catalogue_test"
+  "catalogue_test.pdb"
+  "catalogue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalogue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

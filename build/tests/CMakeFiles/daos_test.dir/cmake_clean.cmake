@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_test.dir/daos_test.cc.o"
+  "CMakeFiles/daos_test.dir/daos_test.cc.o.d"
+  "daos_test"
+  "daos_test.pdb"
+  "daos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

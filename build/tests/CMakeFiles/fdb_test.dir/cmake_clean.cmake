@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdb_test.dir/fdb_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb_test.cc.o.d"
+  "fdb_test"
+  "fdb_test.pdb"
+  "fdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/harness_test.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/harness_test.dir/harness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nws_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpibench/CMakeFiles/nws_mpibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/nws_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ior/CMakeFiles/nws_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/nws_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/daos/CMakeFiles/nws_daos.dir/DependInfo.cmake"
+  "/root/repo/build/src/scm/CMakeFiles/nws_scm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nws_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

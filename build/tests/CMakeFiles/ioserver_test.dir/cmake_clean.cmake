@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioserver_test.dir/ioserver_test.cc.o"
+  "CMakeFiles/ioserver_test.dir/ioserver_test.cc.o.d"
+  "ioserver_test"
+  "ioserver_test.pdb"
+  "ioserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lustre_test.dir/lustre_test.cc.o"
+  "CMakeFiles/lustre_test.dir/lustre_test.cc.o.d"
+  "lustre_test"
+  "lustre_test.pdb"
+  "lustre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lustre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

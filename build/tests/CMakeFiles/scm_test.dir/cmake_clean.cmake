@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_test.dir/scm_test.cc.o"
+  "CMakeFiles/scm_test.dir/scm_test.cc.o.d"
+  "scm_test"
+  "scm_test.pdb"
+  "scm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
