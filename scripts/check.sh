@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification: plain Release build + tests, then an ASan+UBSan build
+# + tests.  The sanitized pass is what gives the chaos harness teeth — a
+# dangling coroutine frame or a buffer overrun under injected faults fails
+# here even when the plain build happens to pass.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+run_plain=1
+run_sanitize=1
+case "${1:-}" in
+  --plain-only) run_sanitize=0 ;;
+  --sanitize-only) run_plain=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--plain-only|--sanitize-only]" >&2; exit 2 ;;
+esac
+
+if [[ $run_plain -eq 1 ]]; then
+  echo "==> plain build (build/)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_sanitize -eq 1 ]]; then
+  echo "==> sanitized build (build-sanitize/, -fsanitize=address,undefined)"
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNWS_SANITIZE=address,undefined
+  cmake --build build-sanitize -j "$jobs"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+fi
+
+echo "==> all checks passed"

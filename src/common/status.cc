@@ -10,6 +10,7 @@ const char* errc_name(Errc e) {
     case Errc::no_space: return "no_space";
     case Errc::io_error: return "io_error";
     case Errc::unavailable: return "unavailable";
+    case Errc::timeout: return "timeout";
     case Errc::invalid: return "invalid";
     case Errc::unsupported: return "unsupported";
   }

@@ -20,6 +20,7 @@ enum class Errc {
   no_space,        // DER_NOSPACE: SCM pool exhausted
   io_error,        // generic I/O failure (fault injection)
   unavailable,     // service unreachable (fault injection / bug emulation)
+  timeout,         // request timed out (e.g. RPC dropped by fault injection)
   invalid,         // invalid argument combination
   unsupported,     // configuration rejected (e.g. PSM2 dual-rail)
 };

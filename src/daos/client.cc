@@ -16,6 +16,24 @@ sim::Task<void> Client::rpc(std::size_t target_index, sim::Duration overhead) {
   co_await cluster_.scheduler().delay(rtt + cost);
 }
 
+sim::Task<Status> Client::fault_check(std::size_t target_index) {
+  fault::FaultPlan* plan = cluster_.fault_plan();
+  if (plan == nullptr) co_return Status::ok();
+  if (plan->target_down(target_index, cluster_.scheduler().now())) {
+    co_return Status::error(Errc::unavailable, "target in injected outage window");
+  }
+  if (plan->drop_rpc()) {
+    ++stats_.rpc_timeouts;
+    co_await cluster_.scheduler().delay(plan->spec().rpc_timeout);
+    co_return Status::error(Errc::timeout, "injected RPC drop: request timed out");
+  }
+  if (plan->transient_error()) {
+    ++stats_.transient_errors;
+    co_return Status::error(Errc::io_error, "injected transient I/O error");
+  }
+  co_return Status::ok();
+}
+
 sim::Task<PoolHandle> Client::pool_connect() {
   // Pool metadata lives with target 0's engine.
   co_await rpc(0, cluster_.model().pool_connect_overhead);
@@ -24,11 +42,13 @@ sim::Task<PoolHandle> Client::pool_connect() {
 
 sim::Task<Status> Client::cont_create(const Uuid& uuid) {
   co_await rpc(0, cluster_.model().cont_create_overhead);
+  if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
   co_return cluster_.create_container(uuid);
 }
 
 sim::Task<Result<ContHandle>> Client::cont_open(const Uuid& uuid) {
   co_await rpc(0, cluster_.model().cont_open_overhead);
+  if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
   auto result = cluster_.open_container(uuid);
   if (!result.is_ok()) co_return result.status();
   co_return ContHandle{result.value()};
@@ -56,6 +76,7 @@ sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
   co_await rpc(shard, m.kv_op_overhead);
+  if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) co_return Status::error(Errc::io_error, "injected KV put failure");
 
   // Shard service: metadata work competes with array I/O for the engine and
@@ -91,6 +112,7 @@ sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::strin
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
   co_await rpc(shard, m.kv_op_overhead);
+  if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) {
     co_return Status::error(Errc::io_error, "injected KV get failure");
   }
@@ -123,6 +145,7 @@ sim::Task<Status> Client::kv_remove(KvHandle& handle, const std::string& key) {
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
   co_await rpc(shard, m.kv_op_overhead);
+  if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   co_await handle.kv->object_lock().lock();
   co_await cluster_.scheduler().delay(m.kv_put_serial);
   const Status st = handle.kv->remove(key);
@@ -152,6 +175,7 @@ sim::Task<Result<ArrayHandle>> Client::array_create(ContHandle cont, const Objec
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
   co_await rpc(lead, m.array_create_overhead);
+  if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   co_await container_indirection(cont.container, lead, /*is_write=*/true);
   auto created = cont.container->create_array(oid, cell_size, chunk_size, cluster_.config().payload_mode);
   if (!created.is_ok()) co_return created.status();
@@ -163,6 +187,7 @@ sim::Task<Result<ArrayHandle>> Client::array_open(ContHandle cont, const ObjectI
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
   co_await rpc(lead, m.array_open_overhead);
+  if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   auto opened = cont.container->open_array(oid);
   if (!opened.is_ok()) co_return opened.status();
   co_return ArrayHandle{cont.container, oid, opened.value(), lead};
@@ -258,6 +283,7 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
   const auto fanout =
       static_cast<sim::Duration>(extents.size() > 1 ? (extents.size() - 1) * m.stripe_fanout_overhead : 0);
   co_await rpc(handle.lead_target, m.array_io_overhead + fanout);
+  if (Status fault = co_await fault_check(handle.lead_target); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) co_return Status::error(Errc::io_error, "injected array write failure");
   co_await container_indirection(handle.container, handle.lead_target, /*is_write=*/true);
 
@@ -302,6 +328,7 @@ sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, s
   const auto fanout =
       static_cast<sim::Duration>(extents.size() > 1 ? (extents.size() - 1) * m.stripe_fanout_overhead : 0);
   co_await rpc(handle.lead_target, m.array_io_overhead + fanout);
+  if (Status fault = co_await fault_check(handle.lead_target); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) {
     co_return Status::error(Errc::io_error, "injected array read failure");
   }
@@ -330,6 +357,7 @@ sim::Task<Status> Client::array_destroy(ContHandle cont, const ObjectId& oid) {
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
   co_await rpc(lead, m.array_create_overhead);  // punch is create-priced
+  if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   auto destroyed = cont.container->destroy_array(oid);
   if (!destroyed.is_ok()) co_return destroyed.status();
   for (const auto& [region, allocation] : destroyed.value()->allocations()) {

@@ -55,6 +55,12 @@ struct ClientStats {
   std::uint64_t array_reads = 0;
   Bytes bytes_written = 0;
   Bytes bytes_read = 0;
+  // Fault-injection observability: how often this client's requests were
+  // dropped (waited out the RPC timeout), hit an injected transient error,
+  // or were re-driven by a caller's retry policy (FieldIo::note_retry).
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t transient_errors = 0;
+  std::uint64_t op_retries = 0;
 };
 
 class Client {
@@ -65,6 +71,10 @@ class Client {
   [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
   [[nodiscard]] const ClientStats& stats() const { return stats_; }
   [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+  /// Records one retry attempt driven by a caller's retry policy (e.g.
+  /// fdb::FieldIo backoff) against this client's stats.
+  void note_retry() { ++stats_.op_retries; }
 
   // --- pool / container -------------------------------------------------------
   sim::Task<PoolHandle> pool_connect();
@@ -100,6 +110,12 @@ class Client {
   /// Round-trip RPC latency to the engine hosting `target`, plus jittered
   /// fixed overhead.
   sim::Task<void> rpc(std::size_t target_index, sim::Duration overhead);
+
+  /// Consults the cluster's chaos FaultPlan after the request RPC and before
+  /// any functional state changes, so a failed op is always safe to retry:
+  /// `unavailable` during a target outage window, `timeout` after waiting out
+  /// a dropped RPC, `io_error` for a transient injected fault.
+  sim::Task<Status> fault_check(std::size_t target_index);
   [[nodiscard]] double jitter() { return rng_.lognormal_jitter(cluster_.model().op_jitter_sigma); }
 
   /// Splits a [offset, offset+len) array extent into per-target byte counts

@@ -33,6 +33,7 @@ Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
   config_.validate().expect_ok("ClusterConfig::validate");
   build_topology();
   build_storage();
+  arm_fault_plan();
 
   pool_uuid_ = Uuid::from_string_md5("nws:pool");
   const Uuid main_uuid = Uuid::from_string_md5("nws:main-container");
@@ -149,6 +150,29 @@ void Cluster::build_storage() {
       }
     }
   }
+}
+
+void Cluster::arm_fault_plan() {
+  if (!config_.fault_spec.any()) return;
+  fault_plan_ = std::make_unique<fault::FaultPlan>(config_.fault_spec);
+
+  std::vector<fault::TargetLinks> target_links;
+  target_links.reserve(targets_.size());
+  for (const Target& t : targets_) {
+    target_links.push_back(fault::TargetLinks{t.write_link, t.read_link});
+  }
+  // Fabric candidates for link-degradation windows: every NIC side plus each
+  // node's UPI (server and client nodes alike).
+  std::vector<net::LinkId> fabric;
+  const std::size_t nodes = config_.server_nodes + config_.client_nodes;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      fabric.push_back(topology_->nic_tx(net::Endpoint{n, s}));
+      fabric.push_back(topology_->nic_rx(net::Endpoint{n, s}));
+    }
+    fabric.push_back(topology_->upi(n));
+  }
+  fault_plan_->arm(sched_, flows_, target_links, fabric);
 }
 
 std::vector<std::size_t> Cluster::placement(const ObjectId& oid) const {

@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "daos/model_config.h"
+#include "fault/fault_plan.h"
 #include "daos/object_id.h"
 #include "daos/objects.h"
 #include "net/topology.h"
@@ -67,6 +68,10 @@ struct ClusterConfig {
 
   ModelConfig model;
   FaultInjection faults;
+  /// Seeded chaos fault plan (fault/fault_plan.h).  When any() it is armed at
+  /// construction: target slowdown/outage windows, fabric link degradation,
+  /// RPC drops and transient errors, all deterministic in fault_spec.seed.
+  fault::FaultSpec fault_spec;
   PayloadMode payload_mode = PayloadMode::digest;
   std::uint64_t seed = 1;
 
@@ -172,9 +177,13 @@ class Cluster {
     return config_.faults.io_failure_rate > 0.0 && rng_.next_double() < config_.faults.io_failure_rate;
   }
 
+  /// Armed chaos fault plan, or nullptr when fault_spec injects nothing.
+  [[nodiscard]] fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
+
  private:
   void build_topology();
   void build_storage();
+  void arm_fault_plan();
 
   sim::Scheduler& sched_;
   ClusterConfig config_;
@@ -194,6 +203,7 @@ class Cluster {
   Container* main_container_ = nullptr;
   std::size_t containers_created_ = 0;
 
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
   Rng rng_;
 };
 

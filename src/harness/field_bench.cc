@@ -1,7 +1,11 @@
 #include "harness/field_bench.h"
 
+#include <cstring>
 #include <memory>
+#include <stdexcept>
+#include <string_view>
 
+#include "common/md5.h"
 #include "common/rng.h"
 #include "sim/sync.h"
 
@@ -50,7 +54,39 @@ fdb::FieldKey bench_field_key(const FieldBenchParams& params, std::uint32_t glob
   return key;
 }
 
+std::vector<std::uint8_t> make_field_payload(const std::string& key_canonical, Bytes size) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the canonical key
+  for (const char c : key_canonical) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+  Rng rng(mix64(h ^ size));
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+  std::size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    const std::uint64_t word = rng.next_u64();
+    std::memcpy(&payload[i], &word, 8);
+  }
+  if (i < payload.size()) {
+    const std::uint64_t word = rng.next_u64();
+    std::memcpy(&payload[i], &word, payload.size() - i);
+  }
+  return payload;
+}
+
 namespace {
+
+/// MD5 check of a read-back field against the regenerated expected payload.
+bool payload_matches(const std::vector<std::uint8_t>& got, Bytes n, const std::string& key_canonical) {
+  const auto expected = make_field_payload(key_canonical, n);
+  const auto view = [](const std::uint8_t* p, Bytes len) {
+    return std::string_view(reinterpret_cast<const char*>(p), static_cast<std::size_t>(len));
+  };
+  return md5(view(got.data(), n)).hex() == md5(view(expected.data(), n)).hex();
+}
+
+void require_verifiable(const daos::Cluster& cluster, const FieldBenchParams& params) {
+  if (params.verify_payload && cluster.config().payload_mode != daos::PayloadMode::full) {
+    throw std::logic_error("FieldBenchParams::verify_payload requires PayloadMode::full");
+  }
+}
 
 sim::Task<void> pattern_a_writer(daos::Cluster& cluster, const FieldBenchParams params, Shared& shared,
                                  IoLog& log, std::uint32_t node, std::uint32_t proc,
@@ -61,15 +97,23 @@ sim::Task<void> pattern_a_writer(daos::Cluster& cluster, const FieldBenchParams 
   co_await cluster.scheduler().delay(startup_skew(cluster, global_rank));
   (co_await io.init()).expect_ok("FieldIo::init");
 
+  std::vector<std::uint8_t> payload;
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
     const fdb::FieldKey key = bench_field_key(params, global_rank, op, /*designated=*/false);
+    const std::uint8_t* data = nullptr;
+    if (params.verify_payload) {
+      payload = make_field_payload(key.canonical(), params.field_size);
+      data = payload.data();
+    }
+    const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
-    const Status st = co_await io.write(key, nullptr, params.field_size);
+    const Status st = co_await io.write(key, data, params.field_size);
     if (!st.is_ok()) {
       shared.fail("write failed: " + st.to_string());
       break;
     }
-    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size,
+               static_cast<std::uint32_t>(io.stats().retries - retries_before));
   }
   shared.writers_done.count_down();
 }
@@ -86,15 +130,23 @@ sim::Task<void> pattern_a_reader(daos::Cluster& cluster, const FieldBenchParams 
   co_await cluster.scheduler().delay(startup_skew(cluster, 0x9000u + global_rank));
   (co_await io.init()).expect_ok("FieldIo::init");
 
+  std::vector<std::uint8_t> buf;
+  if (params.verify_payload) buf.resize(static_cast<std::size_t>(params.field_size));
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
     const fdb::FieldKey key = bench_field_key(params, global_rank, op, /*designated=*/false);
+    const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
-    auto n = co_await io.read(key, nullptr, params.field_size);
+    auto n = co_await io.read(key, params.verify_payload ? buf.data() : nullptr, params.field_size);
     if (!n.is_ok() || n.value() != params.field_size) {
       shared.fail("read failed: " + (n.is_ok() ? std::string("short read") : n.status().to_string()));
       break;
     }
-    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+    if (params.verify_payload && !payload_matches(buf, n.value(), key.canonical())) {
+      shared.fail("payload MD5 mismatch: " + key.canonical());
+      break;
+    }
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size,
+               static_cast<std::uint32_t>(io.stats().retries - retries_before));
   }
   shared.readers_done.count_down();
 }
@@ -107,7 +159,8 @@ sim::Task<void> pattern_a_conductor(Shared& shared) {
 }  // namespace
 
 FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchParams& params) {
-  FieldBenchResult result;
+  require_verifiable(cluster, params);
+  FieldBenchResult result{IoLog(params.log_detail_capacity), IoLog(params.log_detail_capacity)};
   const std::size_t nodes = cluster.config().client_nodes;
   const std::size_t ppn = params.processes_per_node;
   const std::size_t procs = nodes * ppn;
@@ -142,10 +195,18 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
   (co_await io.init()).expect_ok("FieldIo::init");
 
   const fdb::FieldKey key = bench_field_key(params, global_rank, 0, /*designated=*/true);
+  std::vector<std::uint8_t> payload;
+  const std::uint8_t* data = nullptr;
+  if (params.verify_payload) {
+    // Re-writes store the same deterministic content, so readers racing a
+    // re-write always see a consistent payload for the designated key.
+    payload = make_field_payload(key.canonical(), params.field_size);
+    data = payload.data();
+  }
 
   // Setup phase: populate the designated field once.
   {
-    const Status st = co_await io.write(key, nullptr, params.field_size);
+    const Status st = co_await io.write(key, data, params.field_size);
     if (!st.is_ok()) shared.fail("setup write failed: " + st.to_string());
     shared.writers_done.count_down();
   }
@@ -154,13 +215,15 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
   if (shared.failed) co_return;
 
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
-    const Status st = co_await io.write(key, nullptr, params.field_size);
+    const Status st = co_await io.write(key, data, params.field_size);
     if (!st.is_ok()) {
       shared.fail("re-write failed: " + st.to_string());
       break;
     }
-    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size,
+               static_cast<std::uint32_t>(io.stats().retries - retries_before));
   }
 }
 
@@ -177,15 +240,23 @@ sim::Task<void> pattern_b_reader(daos::Cluster& cluster, const FieldBenchParams 
 
   // Reads the field designated to the paired writer.
   const fdb::FieldKey key = bench_field_key(params, writer_rank, 0, /*designated=*/true);
+  std::vector<std::uint8_t> buf;
+  if (params.verify_payload) buf.resize(static_cast<std::size_t>(params.field_size));
 
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
-    auto n = co_await io.read(key, nullptr, params.field_size);
+    auto n = co_await io.read(key, params.verify_payload ? buf.data() : nullptr, params.field_size);
     if (!n.is_ok() || n.value() != params.field_size) {
       shared.fail("read failed: " + (n.is_ok() ? std::string("short read") : n.status().to_string()));
       break;
     }
-    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size);
+    if (params.verify_payload && !payload_matches(buf, n.value(), key.canonical())) {
+      shared.fail("payload MD5 mismatch: " + key.canonical());
+      break;
+    }
+    log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size,
+               static_cast<std::uint32_t>(io.stats().retries - retries_before));
   }
 }
 
@@ -197,7 +268,8 @@ sim::Task<void> pattern_b_conductor(Shared& shared) {
 }  // namespace
 
 FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchParams& params) {
-  FieldBenchResult result;
+  require_verifiable(cluster, params);
+  FieldBenchResult result{IoLog(params.log_detail_capacity), IoLog(params.log_detail_capacity)};
   const std::size_t nodes = cluster.config().client_nodes;
   const std::size_t ppn = params.processes_per_node;
   // First half of the client nodes write, second half read.  With a single

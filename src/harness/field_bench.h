@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "daos/cluster.h"
 #include "fdb/field_io.h"
@@ -41,6 +42,12 @@ struct FieldBenchParams {
   std::size_t processes_per_node = 24;
   daos::ObjectClass kv_class = daos::ObjectClass::SX;
   daos::ObjectClass array_class = daos::ObjectClass::S1;
+  /// Write deterministic per-key payloads and verify every read's MD5
+  /// against the expected bytes (chaos/property testing).  Requires the
+  /// cluster to run with PayloadMode::full.
+  bool verify_payload = false;
+  /// Detail-record capacity of the result logs (0: aggregates only).
+  std::size_t log_detail_capacity = 0;
 };
 
 struct FieldBenchResult {
@@ -69,5 +76,10 @@ FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchPar
 /// part per process (or shared), field part per (process, op).
 fdb::FieldKey bench_field_key(const FieldBenchParams& params, std::uint32_t global_rank,
                               std::uint32_t op, bool designated);
+
+/// Deterministic field payload for verify_payload runs: bytes are a pure
+/// function of (canonical key, size), so any reader can regenerate the
+/// expected content and compare MD5s.
+std::vector<std::uint8_t> make_field_payload(const std::string& key_canonical, Bytes size);
 
 }  // namespace nws::bench

@@ -21,7 +21,8 @@ const char* event_kind_name(EventKind kind) {
 }
 
 void IoLog::record(std::uint32_t node, std::uint32_t proc, std::uint32_t iteration,
-                   sim::TimePoint io_start, sim::TimePoint io_end, Bytes size) {
+                   sim::TimePoint io_start, sim::TimePoint io_end, Bytes size,
+                   std::uint32_t retries) {
   if (io_end < io_start) throw std::invalid_argument("IoLog: io_end before io_start");
   if (iteration >= iterations_.size()) iterations_.resize(iteration + 1);
   IterationAgg& agg = iterations_[iteration];
@@ -31,12 +32,13 @@ void IoLog::record(std::uint32_t node, std::uint32_t proc, std::uint32_t iterati
 
   ++operations_;
   total_bytes_ += size;
+  total_retries_ += retries;
   if (io_start < global_start_) global_start_ = io_start;
   if (io_end > global_end_) global_end_ = io_end;
 
   op_latencies_.add(sim::to_seconds(io_end - io_start));
   if (detail_.size() < detail_capacity_) {
-    detail_.push_back(IoRecord{node, proc, iteration, io_start, io_end, size});
+    detail_.push_back(IoRecord{node, proc, iteration, io_start, io_end, size, retries});
   }
 }
 

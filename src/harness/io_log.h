@@ -52,6 +52,8 @@ struct IoRecord {
   sim::TimePoint io_start = 0;
   sim::TimePoint io_end = 0;
   Bytes size = 0;
+  /// Retry attempts the operation needed (fault injection; 0 normally).
+  std::uint32_t retries = 0;
 };
 
 class IoLog {
@@ -60,10 +62,12 @@ class IoLog {
   explicit IoLog(std::size_t detail_capacity = 0) : detail_capacity_(detail_capacity) {}
 
   void record(std::uint32_t node, std::uint32_t proc, std::uint32_t iteration, sim::TimePoint io_start,
-              sim::TimePoint io_end, Bytes size);
+              sim::TimePoint io_end, Bytes size, std::uint32_t retries = 0);
 
   [[nodiscard]] std::uint64_t operations() const { return operations_; }
   [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
+  /// Total retry attempts across all recorded operations (fault injection).
+  [[nodiscard]] std::uint64_t total_retries() const { return total_retries_; }
   [[nodiscard]] bool empty() const { return operations_ == 0; }
 
   /// Eq. 1.  Requires at least one iteration; meaningful only when the
@@ -98,6 +102,7 @@ class IoLog {
   std::vector<IterationAgg> iterations_;
   std::uint64_t operations_ = 0;
   Bytes total_bytes_ = 0;
+  std::uint64_t total_retries_ = 0;
   sim::TimePoint global_start_ = std::numeric_limits<sim::TimePoint>::max();
   sim::TimePoint global_end_ = std::numeric_limits<sim::TimePoint>::min();
   Summary op_latencies_;

@@ -39,6 +39,19 @@ void FlowScheduler::start_flow(std::vector<LinkId> path, double bytes, double ra
   settle();
 }
 
+void FlowScheduler::set_capacity_factor(LinkId id, double factor) {
+  if (id >= links_.size()) throw std::out_of_range("set_capacity_factor on unknown link");
+  if (factor < 0.0) throw std::invalid_argument("negative link capacity factor");
+  capacity_modulated_ = true;
+  advance_progress();
+  links_[id].capacity_factor = factor;
+  if (!flows_.empty()) {
+    changes_since_full_ = 0;  // force an exact solve: capacities moved under us
+    recompute_rates();
+  }
+  settle();
+}
+
 void FlowScheduler::advance_progress() {
   const sim::TimePoint now = sched_.now();
   const double dt = sim::to_seconds(now - last_update_);
@@ -186,6 +199,11 @@ void FlowScheduler::settle() {
     if (f.rate > 0.0) min_time = std::min(min_time, f.remaining / f.rate);
   }
   if (!std::isfinite(min_time)) {
+    // Every active flow is stalled.  Under capacity modulation this is an
+    // outage window: a scheduled restore event will recompute rates, so no
+    // completion timer is needed (and a genuine hang still surfaces as a
+    // scheduler deadlock).  Without modulation it is a model error.
+    if (capacity_modulated_) return;
     throw std::logic_error("active flows with zero rate: link capacities exhausted");
   }
   auto delta = static_cast<sim::Duration>(std::ceil(min_time * 1e9));

@@ -87,6 +87,12 @@ class FlowScheduler {
     lazy_interval_ = interval;
   }
 
+  /// Degrades (or restores) a link's capacity at the current simulated time:
+  /// effective capacity is multiplied by `factor` (0 = outage) from now on.
+  /// Active flows' progress is settled first and rates are recomputed, so a
+  /// mid-transfer change is accounted exactly.  Fault injection entry point.
+  void set_capacity_factor(LinkId id, double factor);
+
   /// Current max-min rate of every active flow (test hook; bytes/s).
   [[nodiscard]] std::vector<double> current_rates() const;
 
@@ -125,6 +131,10 @@ class FlowScheduler {
   std::size_t lazy_interval_ = 12;
   std::size_t changes_since_full_ = 0;
   double fair_share_floor_ = 0.0;  // min positive rate at the last full solve
+  // Set once capacity modulation is in use: flows stalled at rate 0 during an
+  // outage window are then legal (a restore event will recompute), instead of
+  // the all-flows-stalled state being diagnosed as a model error.
+  bool capacity_modulated_ = false;
 };
 
 }  // namespace nws::net

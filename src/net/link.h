@@ -55,11 +55,16 @@ struct Link {
   LinkKind kind = LinkKind::generic;
   double raw_capacity = 0.0;  // bytes/s
   EfficiencyCurve efficiency;  // empty: effective capacity == raw_capacity
+  // Runtime degradation multiplier (fault injection: slowdown windows,
+  // outages).  1.0 = healthy, 0.0 = complete outage.  Applied on top of the
+  // efficiency curve; changed only through FlowScheduler::set_capacity_factor
+  // so active flow rates are recomputed.
+  double capacity_factor = 1.0;
 
   [[nodiscard]] double effective_capacity(std::size_t active_flows) const {
-    if (efficiency.empty() || active_flows == 0) return raw_capacity;
+    if (efficiency.empty() || active_flows == 0) return raw_capacity * capacity_factor;
     const double c = efficiency.evaluate(static_cast<double>(active_flows));
-    return c < raw_capacity ? c : raw_capacity;
+    return (c < raw_capacity ? c : raw_capacity) * capacity_factor;
   }
 };
 

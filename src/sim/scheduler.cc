@@ -42,7 +42,12 @@ bool Scheduler::step() {
       ev.handle.resume();
     } else {
       ev.timer->fired = true;
-      ev.timer->callback();
+      // Detach the callback before invoking: the callback may cancel or
+      // reassign the Timer handle, and a fired timer must not keep captured
+      // resources alive afterwards.
+      auto callback = std::move(ev.timer->callback);
+      ev.timer->callback = nullptr;
+      callback();
     }
     return true;
   }

@@ -31,13 +31,24 @@ class DeadlockError : public std::runtime_error {
 };
 
 /// Cancellable timer handle returned by schedule_callback().
+///
+/// Lifetime contract: the handle shares state with the scheduler's event but
+/// never owns scheduler resources, so cancel() and pending() are safe after
+/// the timer fired, after repeated cancels, and even after the Scheduler
+/// itself has been destroyed.  Cancelling releases the stored callback
+/// immediately (captured resources are freed without waiting for the event
+/// queue to reach the cancelled entry).
 class Timer {
  public:
   Timer() = default;
 
-  /// Cancels the pending callback; safe to call after firing or repeatedly.
+  /// Cancels the pending callback; safe to call after firing, repeatedly, or
+  /// after the scheduler is gone.
   void cancel() {
-    if (state_) state_->cancelled = true;
+    if (state_) {
+      state_->cancelled = true;
+      state_->callback = nullptr;  // free captures now, not at queue drain
+    }
     state_.reset();
   }
 

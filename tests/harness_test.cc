@@ -7,6 +7,7 @@
 #include "harness/io_log.h"
 #include "ior/ior.h"
 #include "mpibench/mpibench.h"
+#include "sim/sync.h"
 
 namespace nws::bench {
 namespace {
@@ -188,6 +189,46 @@ INSTANTIATE_TEST_SUITE_P(AllModes, FieldPatternModes,
                            }
                            return "unknown";
                          });
+
+TEST(FieldBenchTest, PatternBUnderSharedForecastIndex) {
+  // High contention in pattern B: every process (writers re-writing AND
+  // readers racing them) goes through the one shared forecast index KV.
+  sim::Scheduler sched;
+  daos::Cluster cluster(sched, testbed_config(1, 2));
+  FieldBenchParams params;
+  params.mode = fdb::Mode::full;
+  params.shared_forecast_index = true;
+  params.ops_per_process = 4;
+  params.processes_per_node = 4;
+  const FieldBenchResult result = run_field_pattern_b(cluster, params);
+  ASSERT_FALSE(result.failed) << result.failure;
+  EXPECT_EQ(result.write_log.operations(), 16u);
+  EXPECT_EQ(result.read_log.operations(), 16u);
+  EXPECT_LT(result.read_log.first_start(), result.write_log.last_end());  // phases overlap
+  // All designated keys live in the same forecast (the contention point).
+  EXPECT_EQ(bench_field_key(params, 0, 0, true).most_significant(),
+            bench_field_key(params, 7, 0, true).most_significant());
+}
+
+TEST(SchedulerDeadlock, BenchmarkStyleRunReportsBlockedProcesses) {
+  // A process that never releases a mutex starves another; run() must raise
+  // DeadlockError naming the number of blocked processes, not hang or exit 0.
+  sim::Scheduler sched;
+  sim::Mutex mutex(sched);
+  auto holder = [](sim::Scheduler& s, sim::Mutex& m) -> sim::Task<void> {
+    co_await m.lock();
+    co_await s.delay(sim::seconds(0.001));
+    // Exits still holding the lock.
+  };
+  auto waiter = [](sim::Mutex& m) -> sim::Task<void> {
+    co_await m.lock();  // never acquired
+    m.unlock();
+  };
+  sched.spawn(holder(sched, mutex));
+  sched.spawn(waiter(mutex));
+  EXPECT_THROW(sched.run(), sim::DeadlockError);
+  EXPECT_EQ(sched.live_processes(), 1u);  // the waiter is still parked
+}
 
 TEST(FieldBenchTest, SingleClientNodePatternBSplitsProcesses) {
   sim::Scheduler sched;
