@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_flag("segments", "50", "data parts per process");
   cli.add_flag("ppn", "1,4,12,48", "processes-per-node sweep (low = latency-bound)");
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "harness/run_pool.h"
 
 namespace nws::bench {
 
@@ -16,6 +18,17 @@ inline void add_common_flags(Cli& cli) {
   cli.add_flag("seed", "1", "base seed");
   cli.add_flag("csv", "", "also write results to this CSV file");
   cli.add_flag("quick", "false", "reduced sweep for smoke runs");
+  cli.add_flag("jobs", "0", "worker threads for repetition sweeps (0: all cores)");
+  cli.add_alias('j', "jobs");
+}
+
+/// Resolves --jobs/-j (0 -> hardware_concurrency) and installs it as the
+/// process default, so every repeat()/best_over_ppn() sweep in the binary
+/// runs on the pool.  Results are bit-identical at any job count.
+inline std::size_t resolve_jobs(const Cli& cli) {
+  const std::size_t jobs = normalize_jobs(static_cast<std::size_t>(cli.get_int("jobs")));
+  set_default_jobs(jobs);
+  return jobs;
 }
 
 inline void emit(const Table& table, const std::string& title, const Cli& cli) {

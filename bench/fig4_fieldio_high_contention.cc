@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ops", "30", "field I/O operations per process (paper: 2000)");
   cli.add_flag("ppn", "32", "processes per client node");
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));

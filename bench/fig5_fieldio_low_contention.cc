@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "32", "processes per client node");
   cli.add_flag("emulate-issues", "true", "emulate the >8-server container creation issue");
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));

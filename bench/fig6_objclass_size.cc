@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "48", "processes per client node");
   cli.add_flag("pattern", "A", "access pattern (A per the figure; B discussed in the text)");
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));

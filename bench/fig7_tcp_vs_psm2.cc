@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "4,8,12,24", "processes-per-node candidates (paper set)");
   cli.add_flag("segments", "100", "IOR segment count (-s)");
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));

@@ -1,0 +1,223 @@
+// Self-profiling microbench for the simulator core (perf trajectory anchor).
+//
+// Runs a fixed set of standard scenarios — IOR, field I/O patterns A/B at
+// low and high contention, and a chaos-profile run — and reports, per
+// scenario, the simulator's raw event throughput (scheduler events per
+// wall-clock second), flow throughput (completed network flows per
+// wall-clock second) and wall-clock per run.  A second section times a
+// small experiment sweep serially and with the parallel run engine to
+// record the host speedup.  Results are emitted as machine-readable JSON
+// (BENCH_PR3.json by default; format documented in docs/PERFORMANCE.md)
+// so successive PRs can compare against a committed baseline.
+//
+//   ./selfprof                         # print JSON to stdout + BENCH_PR3.json
+//   ./selfprof --out=perf.json         # choose the output path
+//   ./selfprof --baseline=old.json     # embed a previous run as "baseline"
+//   ./selfprof --sweep-seeds=32 -j 8   # size the parallel sweep section
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "fault/fault_plan.h"
+#include "harness/experiment.h"
+#include "harness/field_bench.h"
+
+namespace nws::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t events = 0;
+  std::uint64_t flows = 0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double events_per_sec() const { return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0; }
+  [[nodiscard]] double flows_per_sec() const { return wall_seconds > 0 ? static_cast<double>(flows) / wall_seconds : 0.0; }
+};
+
+/// One simulated run under a fresh scheduler + cluster; the callable
+/// receives both and drives the workload to completion.
+template <typename Body>
+ScenarioResult profile(const std::string& name, int repetitions, const daos::ClusterConfig& cfg,
+                       Body&& body) {
+  ScenarioResult r;
+  r.name = name;
+  const auto t0 = Clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    daos::ClusterConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(rep);
+    sim::Scheduler sched;
+    daos::Cluster cluster(sched, run_cfg);
+    body(cluster);
+    r.events += sched.events_executed();
+    r.flows += cluster.flows().stats().flows_completed;
+    r.sim_seconds += sim::to_seconds(sched.now());
+  }
+  r.wall_seconds = seconds_since(t0);
+  return r;
+}
+
+std::vector<ScenarioResult> run_scenarios(std::uint64_t seed) {
+  std::vector<ScenarioResult> out;
+
+  {
+    daos::ClusterConfig cfg = testbed_config(2, 4);
+    cfg.seed = seed;
+    out.push_back(profile("ior_2s4c_pattern_a", 3, cfg, [](daos::Cluster& cluster) {
+      ior::IorParams params;
+      params.segments = 50;
+      params.processes_per_node = 24;
+      const ior::IorResult result = ior::run_ior(cluster, params);
+      if (result.failed) throw std::runtime_error("selfprof IOR run failed: " + result.failure);
+    }));
+  }
+
+  const auto field_scenario = [&](const std::string& name, fdb::Mode mode, bool shared, char pattern,
+                                  std::size_t clients) {
+    daos::ClusterConfig cfg = testbed_config(1, clients);
+    cfg.seed = seed;
+    out.push_back(profile(name, 3, cfg, [&](daos::Cluster& cluster) {
+      FieldBenchParams params;
+      params.mode = mode;
+      params.shared_forecast_index = shared;
+      params.ops_per_process = 20;
+      params.processes_per_node = 16;
+      const FieldBenchResult result = pattern == 'B' ? run_field_pattern_b(cluster, params)
+                                                     : run_field_pattern_a(cluster, params);
+      if (result.failed) throw std::runtime_error("selfprof field run failed: " + result.failure);
+    }));
+  };
+  field_scenario("field_full_low_contention_a", fdb::Mode::full, false, 'A', 2);
+  field_scenario("field_full_high_contention_a", fdb::Mode::full, true, 'A', 2);
+  field_scenario("field_noindex_high_contention_b", fdb::Mode::no_index, true, 'B', 2);
+
+  {
+    // Chaos-profile run: fault windows + retries exercise the timer path.
+    daos::ClusterConfig cfg = testbed_config(1, 2);
+    cfg.seed = seed;
+    cfg.payload_mode = daos::PayloadMode::full;
+    cfg.fault_spec = fault::FaultSpec::default_chaos(mix64(seed ^ 0xfa017ull));
+    out.push_back(profile("field_chaos_profile_a", 3, cfg, [](daos::Cluster& cluster) {
+      FieldBenchParams params;
+      params.ops_per_process = 10;
+      params.processes_per_node = 8;
+      params.verify_payload = true;
+      const FieldBenchResult result = run_field_pattern_a(cluster, params);
+      if (result.failed) throw std::runtime_error("selfprof chaos run failed: " + result.failure);
+    }));
+  }
+  return out;
+}
+
+/// The sweep timed serially and in parallel: `seeds` independent field
+/// benchmark repetitions, the shape of the chaos sweep and of repeat().
+double time_sweep(std::size_t seeds, std::uint64_t base_seed, std::size_t jobs) {
+  const auto t0 = Clock::now();
+  const RepetitionSummary summary = repeat(
+      seeds, base_seed,
+      [](std::uint64_t seed) {
+        FieldBenchParams params;
+        params.ops_per_process = 10;
+        params.processes_per_node = 8;
+        return run_field_once(testbed_config(1, 2), params, 'A', seed);
+      },
+      jobs);
+  if (summary.any_failed) throw std::runtime_error("selfprof sweep failed: " + summary.failure);
+  return seconds_since(t0);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Reads a previous selfprof emission to embed under "baseline" (whole file
+/// inlined verbatim minus its own baseline, so chains do not nest).
+std::string load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+}  // namespace nws::bench
+
+int main(int argc, char** argv) {
+  using namespace nws;
+  using namespace nws::bench;
+  Cli cli;
+  add_common_flags(cli);
+  cli.add_flag("out", "BENCH_PR3.json", "output JSON path");
+  cli.add_flag("baseline", "", "previous selfprof JSON to embed as the baseline");
+  cli.add_flag("sweep-seeds", "16", "independent runs in the serial-vs-parallel sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::size_t jobs = resolve_jobs(cli);
+  const auto sweep_seeds = static_cast<std::size_t>(cli.get_int("sweep-seeds"));
+
+  const std::vector<ScenarioResult> scenarios = run_scenarios(seed);
+
+  const double serial_wall = time_sweep(sweep_seeds, seed, 1);
+  const double parallel_wall = time_sweep(sweep_seeds, seed, jobs);
+
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"bench\": \"selfprof\",\n";
+  json << "  \"pr\": 3,\n";
+  json << "  \"seed\": " << seed << ",\n";
+  json << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  json << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    total_events += s.events;
+    total_wall += s.wall_seconds;
+    json << "    {\"name\": \"" << json_escape(s.name) << "\", "
+         << "\"events\": " << s.events << ", "
+         << "\"flows\": " << s.flows << ", "
+         << "\"sim_seconds\": " << strf("%.6f", s.sim_seconds) << ", "
+         << "\"wall_seconds\": " << strf("%.6f", s.wall_seconds) << ", "
+         << "\"events_per_sec\": " << strf("%.0f", s.events_per_sec()) << ", "
+         << "\"flows_per_sec\": " << strf("%.0f", s.flows_per_sec()) << "}"
+         << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"aggregate_events_per_sec\": "
+       << strf("%.0f", total_wall > 0 ? static_cast<double>(total_events) / total_wall : 0.0) << ",\n";
+  json << "  \"sweep\": {\"seeds\": " << sweep_seeds << ", \"jobs\": " << jobs << ", "
+       << "\"serial_wall_seconds\": " << strf("%.3f", serial_wall) << ", "
+       << "\"parallel_wall_seconds\": " << strf("%.3f", parallel_wall) << ", "
+       << "\"speedup\": " << strf("%.2f", parallel_wall > 0 ? serial_wall / parallel_wall : 0.0)
+       << "}";
+
+  const std::string baseline_path = cli.get("baseline");
+  if (!baseline_path.empty()) {
+    const std::string baseline = load_baseline(baseline_path);
+    if (!baseline.empty()) json << ",\n  \"baseline\": " << baseline;
+  }
+  json << "\n}\n";
+
+  std::cout << json.str();
+  const std::string out_path = cli.get("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::cout << "(JSON written to " << out_path << ")\n";
+  }
+  return 0;
+}

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "24,48,72,96", "processes-per-node candidates");
   cli.add_flag("segments", "100", "IOR segment count (-s)");
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   const bool quick = cli.get_bool("quick");
   std::vector<std::size_t> ppn_candidates;
@@ -44,23 +45,26 @@ int main(int argc, char** argv) {
     std::string cells[2];
     for (const std::size_t clients : {std::size_t{1}, std::size_t{2}}) {
       // Table 1 reports the maximum across all repetitions and process
-      // counts.
+      // counts.  The (ppn, repetition) grid is flattened into one pool
+      // sweep; the max fold below runs serially in job-index order.
+      const std::vector<bench::RunOutcome> outcomes = bench::parallel_map(
+          ppn_candidates.size() * reps, bench::default_jobs(), [&](std::size_t job) {
+            const std::size_t ppn = ppn_candidates[job / reps];
+            const std::size_t rep = job % reps;
+            daos::ClusterConfig cfg = bench::testbed_config(1, clients);
+            cfg.engines_per_server = config.engines;
+            cfg.client_sockets_in_use = config.client_ifaces;
+            ior::IorParams params;
+            params.segments = static_cast<std::uint32_t>(cli.get_int("segments"));
+            params.processes_per_node = ppn;
+            return bench::run_ior_once(cfg, params, seed + rep * 7919 + ppn);
+          });
       double best_w = 0.0;
       double best_r = 0.0;
-      for (const std::size_t ppn : ppn_candidates) {
-        for (std::size_t rep = 0; rep < reps; ++rep) {
-          daos::ClusterConfig cfg = bench::testbed_config(1, clients);
-          cfg.engines_per_server = config.engines;
-          cfg.client_sockets_in_use = config.client_ifaces;
-          ior::IorParams params;
-          params.segments = static_cast<std::uint32_t>(cli.get_int("segments"));
-          params.processes_per_node = ppn;
-          const bench::RunOutcome out =
-              bench::run_ior_once(cfg, params, seed + rep * 7919 + ppn);
-          if (!out.failed) {
-            best_w = std::max(best_w, out.write_bw);
-            best_r = std::max(best_r, out.read_bw);
-          }
+      for (const bench::RunOutcome& out : outcomes) {
+        if (!out.failed) {
+          best_w = std::max(best_w, out.write_bw);
+          best_r = std::max(best_r, out.read_bw);
         }
       }
       cells[clients - 1] = strf("%.1fw / %.1fr", best_w, best_r);

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   Cli cli;
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::resolve_jobs(cli);
 
   struct Row {
     const char* provider;

@@ -1,28 +1,41 @@
 #!/usr/bin/env bash
 # Full verification: plain Release build + tests, then an ASan+UBSan build
-# + tests.  The sanitized pass is what gives the chaos harness teeth — a
-# dangling coroutine frame or a buffer overrun under injected faults fails
-# here even when the plain build happens to pass.
+# + tests, then a TSan build running the parallel run-pool and chaos tests.
+# The sanitized pass is what gives the chaos harness teeth — a dangling
+# coroutine frame or a buffer overrun under injected faults fails here even
+# when the plain build happens to pass — and the TSan pass guards the
+# work-stealing sweep engine (src/harness/run_pool) against data races.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only] [--jobs N]
+#
+# --jobs / -j (or NWS_JOBS) sets both the build parallelism and the
+# experiment-sweep parallelism inside the test binaries; 0 or unset means
+# one job per hardware thread.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-jobs=$(nproc 2>/dev/null || echo 4)
+jobs="${NWS_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+[[ "$jobs" -ge 1 ]] || jobs=$(nproc 2>/dev/null || echo 4)
 run_plain=1
 run_sanitize=1
-case "${1:-}" in
-  --plain-only) run_sanitize=0 ;;
-  --sanitize-only) run_plain=0 ;;
-  "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only]" >&2; exit 2 ;;
-esac
+run_tsan=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --plain-only) run_sanitize=0; run_tsan=0 ;;
+    --sanitize-only) run_plain=0; run_tsan=0 ;;
+    --tsan-only) run_plain=0; run_sanitize=0 ;;
+    --jobs|-j) shift; jobs="${1:?--jobs needs a value}" ;;
+    --jobs=*) jobs="${1#--jobs=}" ;;
+    *) echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only] [--jobs N]" >&2; exit 2 ;;
+  esac
+  shift
+done
 
 if [[ $run_plain -eq 1 ]]; then
   echo "==> plain build (build/)"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "$jobs"
-  ctest --test-dir build --output-on-failure -j "$jobs"
+  NWS_JOBS="$jobs" ctest --test-dir build --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_sanitize -eq 1 ]]; then
@@ -30,8 +43,22 @@ if [[ $run_sanitize -eq 1 ]]; then
   cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DNWS_SANITIZE=address,undefined
   cmake --build build-sanitize -j "$jobs"
-  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 NWS_JOBS="$jobs" \
     ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "==> TSan build (build-tsan/, -fsanitize=thread): run pool + chaos sweep"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNWS_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test
+  # The pool tests pin their own thread counts; the chaos sweep runs a
+  # reduced scenario count (TSan is ~10x slower) across all hardware threads
+  # to actually exercise cross-thread stealing.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/harness_test --gtest_filter='RunPoolTest.*:ExperimentTest.RepeatAndBestOverPpnIdenticalAtAnyJobCount'
+  TSAN_OPTIONS=halt_on_error=1 NWS_CHAOS_COUNT=24 NWS_JOBS=0 \
+    ./build-tsan/tests/chaos_test
 fi
 
 echo "==> all checks passed"

@@ -9,6 +9,11 @@ void Cli::add_flag(const std::string& name, const std::string& default_value, co
   flags_[name] = Flag{default_value, default_value, help};
 }
 
+void Cli::add_alias(char short_name, const std::string& name) {
+  if (flags_.count(name) == 0) throw std::invalid_argument("alias for unregistered flag: --" + name);
+  aliases_[short_name] = name;
+}
+
 const Cli::Flag& Cli::find(const std::string& name) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) throw std::invalid_argument("unregistered flag: --" + name);
@@ -22,7 +27,19 @@ bool Cli::parse(int argc, char** argv) {
       print_usage(argv[0]);
       return false;
     }
-    if (arg.rfind("--", 0) != 0) throw std::invalid_argument("unexpected argument: " + arg);
+    if (arg.rfind("--", 0) != 0) {
+      // Short alias: -j8, -j 8.
+      if (arg.size() >= 2 && arg[0] == '-' && aliases_.count(arg[1]) != 0) {
+        const std::string& name = aliases_.at(arg[1]);
+        if (arg.size() > 2) {
+          arg = "--" + name + "=" + arg.substr(2);
+        } else {
+          arg = "--" + name;
+        }
+      } else {
+        throw std::invalid_argument("unexpected argument: " + arg);
+      }
+    }
     arg = arg.substr(2);
 
     std::string name;

@@ -17,6 +17,10 @@ class Cli {
   /// every flag before parse().
   void add_flag(const std::string& name, const std::string& default_value, const std::string& help);
 
+  /// Registers `-x`-style shorthand for an existing flag, so `-j 8` and
+  /// `-j8` parse as `--jobs=8`.
+  void add_alias(char short_name, const std::string& name);
+
   /// Parses argv; on --help prints usage and returns false.  Throws
   /// std::invalid_argument on unknown flags or missing values.
   bool parse(int argc, char** argv);
@@ -38,6 +42,7 @@ class Cli {
     std::string help;
   };
   std::map<std::string, Flag> flags_;
+  std::map<char, std::string> aliases_;
 
   const Flag& find(const std::string& name) const;
 };

@@ -214,26 +214,33 @@ sim::Task<Status> FieldIo::write(const FieldKey& key, const std::uint8_t* data, 
 
   if (config_.mode == Mode::no_index) {
     // Field identifier maps directly to the Array object id; re-writes
-    // overwrite the same Array (contention moves to the Array level).
+    // overwrite the same Array (contention moves to the Array level).  The
+    // handle is cached after the first create/open, so a re-write skips the
+    // round-trips entirely.
     const daos::ObjectId oid =
         daos::ObjectId::from_digest(md5(key.canonical()), daos::ObjectType::array, config_.array_class);
-    auto arr = co_await with_retry_result<daos::ArrayHandle>([&] {
-      return client_.array_create(main_cont_, oid, 1, client_.cluster().model().array_chunk_size);
-    });
     daos::ArrayHandle handle;
-    if (arr.is_ok()) {
-      handle = arr.value();
-    } else if (arr.status().code() == Errc::already_exists) {
-      auto opened = co_await with_retry_result<daos::ArrayHandle>(
-          [&] { return client_.array_open(main_cont_, oid); });
-      if (!opened.is_ok()) co_return opened.status();
-      handle = opened.value();
+    const auto cached = arrays_.find(oid);
+    if (cached != arrays_.end()) {
+      handle = cached->second;
     } else {
-      co_return arr.status();
+      auto arr = co_await with_retry_result<daos::ArrayHandle>([&] {
+        return client_.array_create(main_cont_, oid, 1, client_.cluster().model().array_chunk_size);
+      });
+      if (arr.is_ok()) {
+        handle = arr.value();
+      } else if (arr.status().code() == Errc::already_exists) {
+        auto opened = co_await with_retry_result<daos::ArrayHandle>(
+            [&] { return client_.array_open(main_cont_, oid); });
+        if (!opened.is_ok()) co_return opened.status();
+        handle = opened.value();
+      } else {
+        co_return arr.status();
+      }
+      arrays_.emplace(oid, handle);
     }
     const Status written =
         co_await with_retry([&] { return client_.array_write(handle, 0, data, len); });
-    co_await client_.array_close(handle);
     if (!written.is_ok()) co_return written;
     ++stats_.fields_written;
     stats_.bytes_written += len;
@@ -274,13 +281,19 @@ sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, B
   if (config_.mode == Mode::no_index) {
     const daos::ObjectId oid =
         daos::ObjectId::from_digest(md5(key.canonical()), daos::ObjectType::array, config_.array_class);
-    auto opened = co_await with_retry_result<daos::ArrayHandle>(
-        [&] { return client_.array_open(main_cont_, oid); });
-    if (!opened.is_ok()) co_return opened.status();
-    auto handle = opened.value();
+    daos::ArrayHandle handle;
+    const auto cached = arrays_.find(oid);
+    if (cached != arrays_.end()) {
+      handle = cached->second;
+    } else {
+      auto opened = co_await with_retry_result<daos::ArrayHandle>(
+          [&] { return client_.array_open(main_cont_, oid); });
+      if (!opened.is_ok()) co_return opened.status();
+      handle = opened.value();
+      arrays_.emplace(oid, handle);
+    }
     auto n = co_await with_retry_result<Bytes>(
         [&] { return client_.array_read(handle, 0, out, out_len); });
-    co_await client_.array_close(handle);
     if (!n.is_ok()) co_return n.status();
     ++stats_.fields_read;
     stats_.bytes_read += n.value();
@@ -298,13 +311,21 @@ sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, B
   auto oid = oid_from_string(ref.value());
   if (!oid.is_ok()) co_return oid.status();
 
-  auto opened = co_await with_retry_result<daos::ArrayHandle>(
-      [&] { return client_.array_open(handles.store_cont, oid.value()); });
-  if (!opened.is_ok()) co_return opened.status();
-  auto handle = opened.value();
+  // Re-reads of the same field (pattern B readers polling a designated key)
+  // hit the cached handle and skip the open/close round-trips.
+  daos::ArrayHandle handle;
+  const auto cached = arrays_.find(oid.value());
+  if (cached != arrays_.end()) {
+    handle = cached->second;
+  } else {
+    auto opened = co_await with_retry_result<daos::ArrayHandle>(
+        [&] { return client_.array_open(handles.store_cont, oid.value()); });
+    if (!opened.is_ok()) co_return opened.status();
+    handle = opened.value();
+    arrays_.emplace(oid.value(), handle);
+  }
   auto n = co_await with_retry_result<Bytes>(
       [&] { return client_.array_read(handle, 0, out, out_len); });
-  co_await client_.array_close(handle);
   if (!n.is_ok()) co_return n.status();
 
   ++stats_.fields_read;

@@ -170,6 +170,12 @@ class FieldIo {
   daos::ContHandle main_cont_;
   daos::KvHandle main_kv_;
   std::unordered_map<std::string, ForecastHandles> forecasts_;  // connection cache
+  /// Open Array handles, cached across operations like the container and KV
+  /// connections above (the paper's Section 5.2 connection caching, one
+  /// level down): repeated reads of a field — and no-index re-writes, which
+  /// hit one well-known Array per key — skip the open/close round-trips.
+  /// Handles are plain values; a process simply keeps them open.
+  std::unordered_map<daos::ObjectId, daos::ArrayHandle, daos::ObjectIdHash> arrays_;
 
   FieldIoStats stats_;
 };

@@ -2,11 +2,13 @@
 
 namespace nws::bench {
 
-RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
-                         const std::function<RunOutcome(std::uint64_t seed)>& run) {
+namespace {
+
+/// Serial fold of per-repetition outcomes, in repetition order (the exact
+/// accumulation order of the historical serial loop).
+RepetitionSummary summarise(const std::vector<RunOutcome>& outcomes) {
   RepetitionSummary summary;
-  for (std::size_t r = 0; r < reps; ++r) {
-    const RunOutcome outcome = run(base_seed + 1000003ull * (r + 1));
+  for (const RunOutcome& outcome : outcomes) {
     if (outcome.failed) {
       summary.any_failed = true;
       summary.failure = outcome.failure;
@@ -16,6 +18,19 @@ RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
     summary.read.add(outcome.read_bw);
   }
   return summary;
+}
+
+std::uint64_t repetition_seed(std::uint64_t base_seed, std::size_t r) {
+  return base_seed + 1000003ull * (r + 1);
+}
+
+}  // namespace
+
+RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
+                         const std::function<RunOutcome(std::uint64_t seed)>& run,
+                         std::size_t jobs) {
+  return summarise(parallel_map(
+      reps, jobs, [&](std::size_t r) { return run(repetition_seed(base_seed, r)); }));
 }
 
 RunOutcome run_ior_once(daos::ClusterConfig cfg, const ior::IorParams& params, std::uint64_t seed) {
@@ -54,17 +69,27 @@ RunOutcome run_field_once(daos::ClusterConfig cfg, const FieldBenchParams& param
 
 BestOfPpn best_over_ppn(const std::vector<std::size_t>& ppn_candidates, std::size_t reps,
                         std::uint64_t base_seed,
-                        const std::function<RunOutcome(std::size_t ppn, std::uint64_t seed)>& run) {
+                        const std::function<RunOutcome(std::size_t ppn, std::uint64_t seed)>& run,
+                        std::size_t jobs) {
+  // Flatten the (ppn, repetition) grid into one sweep so a wide pool stays
+  // busy even when reps < jobs; job index = candidate * reps + repetition.
+  const std::vector<RunOutcome> outcomes =
+      parallel_map(ppn_candidates.size() * reps, jobs, [&](std::size_t job) {
+        const std::size_t ppn = ppn_candidates[job / reps];
+        return run(ppn, repetition_seed(base_seed ^ (0x51ed2700ull * ppn), job % reps));
+      });
+
   BestOfPpn best;
   double best_score = -1.0;
-  for (const std::size_t ppn : ppn_candidates) {
-    const RepetitionSummary summary =
-        repeat(reps, base_seed ^ (0x51ed2700ull * ppn), [&](std::uint64_t seed) { return run(ppn, seed); });
+  for (std::size_t c = 0; c < ppn_candidates.size(); ++c) {
+    const RepetitionSummary summary = summarise(
+        {outcomes.begin() + static_cast<std::ptrdiff_t>(c * reps),
+         outcomes.begin() + static_cast<std::ptrdiff_t>((c + 1) * reps)});
     if (summary.any_failed && summary.write.empty() && summary.read.empty()) continue;
     const double score = summary.mean_aggregate();
     if (score > best_score) {
       best_score = score;
-      best.ppn = ppn;
+      best.ppn = ppn_candidates[c];
       best.summary = summary;
     }
   }

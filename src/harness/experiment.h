@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "daos/cluster.h"
 #include "harness/field_bench.h"
+#include "harness/run_pool.h"
 #include "ior/ior.h"
 
 namespace nws::bench {
@@ -42,8 +43,15 @@ struct RepetitionSummary {
 
 /// Runs `reps` repetitions of `run` (a callable taking the repetition seed
 /// and returning a RunOutcome) and summarises.
+///
+/// Repetitions are distributed over `jobs` threads (default: the process-wide
+/// default_jobs(), i.e. the --jobs flag).  Each repetition's seed depends only
+/// on (base_seed, repetition index) and outcomes are folded in repetition
+/// order, so the summary is bit-identical at any job count — `run` must build
+/// all mutable state (scheduler, cluster) freshly from its seed.
 RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
-                         const std::function<RunOutcome(std::uint64_t seed)>& run);
+                         const std::function<RunOutcome(std::uint64_t seed)>& run,
+                         std::size_t jobs = default_jobs());
 
 /// Executes IOR (pattern A, synchronous-bandwidth metric) on a fresh
 /// cluster built from `cfg` with the given seed.
@@ -63,9 +71,13 @@ struct BestOfPpn {
   RepetitionSummary summary;
 };
 
+/// The (ppn x repetition) job grid is flattened and distributed over `jobs`
+/// threads as one sweep (not nested per-ppn pools), then folded in candidate
+/// order — like repeat(), bit-identical at any job count.
 BestOfPpn best_over_ppn(const std::vector<std::size_t>& ppn_candidates, std::size_t reps,
                         std::uint64_t base_seed,
-                        const std::function<RunOutcome(std::size_t ppn, std::uint64_t seed)>& run);
+                        const std::function<RunOutcome(std::size_t ppn, std::uint64_t seed)>& run,
+                        std::size_t jobs = default_jobs());
 
 /// A standard NEXTGenIO-like cluster config for the given node counts.
 daos::ClusterConfig testbed_config(std::size_t server_nodes, std::size_t client_nodes,

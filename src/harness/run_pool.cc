@@ -1,0 +1,160 @@
+#include "harness/run_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace nws::bench {
+
+namespace {
+
+std::size_t hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+std::atomic<std::size_t>& default_jobs_slot() {
+  // Initialised once from NWS_JOBS (0 -> hardware_concurrency); benches
+  // override via set_default_jobs(resolve_jobs(cli)).
+  static std::atomic<std::size_t> slot = [] {
+    const char* env = std::getenv("NWS_JOBS");
+    if (env != nullptr && *env != '\0') {
+      return normalize_jobs(static_cast<std::size_t>(std::strtoull(env, nullptr, 10)));
+    }
+    return std::size_t{1};
+  }();
+  return slot;
+}
+
+}  // namespace
+
+std::size_t normalize_jobs(std::size_t jobs) { return jobs == 0 ? hardware_jobs() : jobs; }
+
+std::size_t default_jobs() { return default_jobs_slot().load(std::memory_order_relaxed); }
+
+void set_default_jobs(std::size_t jobs) {
+  default_jobs_slot().store(normalize_jobs(jobs), std::memory_order_relaxed);
+}
+
+RunPool::RunPool(std::size_t threads) {
+  if (threads < 1) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+RunPool::~RunPool() {
+  {
+    const std::lock_guard<std::mutex> lock(sweep_mutex_);
+    shutdown_ = true;
+  }
+  sweep_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void RunPool::run(std::size_t n_jobs, const std::function<void(std::size_t)>& body) {
+  if (n_jobs == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(sweep_mutex_);
+    body_ = &body;
+    outstanding_ = n_jobs;
+    first_error_ = nullptr;
+  }
+  // Jobs are dealt round-robin so every worker starts with a contiguous
+  // stride; stealing rebalances from whoever still has the most.  Pushes
+  // happen after the sweep state is published but before the generation
+  // bump: a worker that pops a job (under the queue mutex) always sees the
+  // current body, and a worker woken by the bump always finds the jobs.
+  for (std::size_t job = 0; job < n_jobs; ++job) {
+    WorkerQueue& queue = *queues_[job % queues_.size()];
+    const std::lock_guard<std::mutex> qlock(queue.mutex);
+    queue.jobs.push_back(job);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sweep_mutex_);
+    ++generation_;
+  }
+  sweep_start_.notify_all();
+
+  // The calling thread participates as worker 0.
+  std::size_t job = 0;
+  while (next_job(0, job)) run_one(0, job);
+
+  std::unique_lock<std::mutex> lock(sweep_mutex_);
+  sweep_done_.wait(lock, [this] { return outstanding_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void RunPool::worker_loop(std::size_t self) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(sweep_mutex_);
+      sweep_start_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    std::size_t job = 0;
+    while (next_job(self, job)) run_one(self, job);
+  }
+}
+
+bool RunPool::next_job(std::size_t self, std::size_t& job) {
+  {
+    WorkerQueue& own = *queues_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.jobs.empty()) {
+      job = own.jobs.front();
+      own.jobs.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the fullest victim.  Queues only drain within a
+  // sweep, so a scan that finds every queue empty is definitive.
+  for (;;) {
+    std::size_t victim = queues_.size();
+    std::size_t victim_size = 0;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      if (i == self) continue;
+      const std::lock_guard<std::mutex> lock(queues_[i]->mutex);
+      if (queues_[i]->jobs.size() > victim_size) {
+        victim = i;
+        victim_size = queues_[i]->jobs.size();
+      }
+    }
+    if (victim == queues_.size()) return false;
+    const std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+    if (queues_[victim]->jobs.empty()) continue;  // lost the race, rescan
+    job = queues_[victim]->jobs.back();
+    queues_[victim]->jobs.pop_back();
+    return true;
+  }
+}
+
+void RunPool::run_one(std::size_t self, std::size_t job) {
+  (void)self;
+  try {
+    (*body_)(job);
+  } catch (...) {
+    record_failure(job);
+  }
+  const std::lock_guard<std::mutex> lock(sweep_mutex_);
+  if (--outstanding_ == 0) sweep_done_.notify_all();
+}
+
+void RunPool::record_failure(std::size_t job) {
+  const std::lock_guard<std::mutex> lock(sweep_mutex_);
+  if (!first_error_ || job < first_error_job_) {
+    first_error_ = std::current_exception();
+    first_error_job_ = job;
+  }
+}
+
+}  // namespace nws::bench

@@ -17,6 +17,9 @@ LinkId FlowScheduler::add_link(Link link) {
   if (link.raw_capacity <= 0.0) throw std::invalid_argument("link capacity must be positive: " + link.name);
   links_.push_back(std::move(link));
   link_flow_count_.push_back(0);
+  residual_.push_back(0.0);
+  unfrozen_on_link_.push_back(0);
+  link_mark_.push_back(0);
   return static_cast<LinkId>(links_.size() - 1);
 }
 
@@ -33,10 +36,10 @@ void FlowScheduler::start_flow(std::vector<LinkId> path, double bytes, double ra
   flow.cap = rate_cap;
   flow.waiter = h;
   flows_.push_back(std::move(flow));
+  for (const LinkId id : flows_.back().path) ++link_flow_count_[id];
   ++stats_.flows_started;
   stats_.peak_concurrent = std::max(stats_.peak_concurrent, flows_.size());
-  maybe_recompute(&flows_.back());
-  settle();
+  settle(flows_.size() - 1);
 }
 
 void FlowScheduler::set_capacity_factor(LinkId id, double factor) {
@@ -63,12 +66,42 @@ void FlowScheduler::advance_progress() {
   }
 }
 
-void FlowScheduler::maybe_recompute(Flow* added) {
-  // Exact solve below the threshold and periodically above it; in between,
-  // an added flow simply starts at the last fair-share floor (capped), and
-  // departures leave the remaining rates untouched until the next full
-  // solve.  See set_lazy_recompute() for the error bound.
-  if (flows_.size() <= lazy_threshold_ || ++changes_since_full_ >= lazy_interval_) {
+bool FlowScheduler::links_private_to(const Flow& f) const {
+  for (const LinkId id : f.path) {
+    if (link_flow_count_[id] != 1) return false;
+  }
+  return true;
+}
+
+double FlowScheduler::solo_rate(const Flow& f) const {
+  double rate = f.cap;
+  for (const LinkId id : f.path) {
+    rate = std::min(rate, links_[id].effective_capacity(1));
+  }
+  return rate;
+}
+
+void FlowScheduler::maybe_recompute(Flow* added, bool shared_departure) {
+  if (flows_.size() <= lazy_threshold_) {
+    // Exact regime.  Changes disjoint from every other flow cannot move any
+    // other flow's max-min rate: an arrival whose links carry nothing else
+    // just takes its solo bottleneck rate, and a departure that left its
+    // links empty needs no adjustment at all.  Everything else re-solves.
+    const bool arrival_disjoint = added != nullptr && links_private_to(*added);
+    if (!shared_departure && (added == nullptr || arrival_disjoint)) {
+      changes_since_full_ = 0;
+      if (added != nullptr) added->rate = solo_rate(*added);
+      return;
+    }
+    changes_since_full_ = 0;
+    recompute_rates();
+    return;
+  }
+  // Bounded-staleness regime: exact solve periodically; in between, an added
+  // flow simply starts at the last fair-share floor (capped), and departures
+  // leave the remaining rates untouched until the next full solve.  See
+  // set_lazy_recompute() for the error bound.
+  if (++changes_since_full_ >= lazy_interval_) {
     changes_since_full_ = 0;
     recompute_rates();
     return;
@@ -88,75 +121,77 @@ void FlowScheduler::recompute_rates() {
   const std::size_t n_flows = flows_.size();
   if (n_flows == 0) return;
 
-  // Effective capacities given current flow counts per link.  Only links
-  // actually carrying flows participate (the cluster registers hundreds of
-  // links; an op touches a handful).
-  std::fill(link_flow_count_.begin(), link_flow_count_.end(), std::size_t{0});
-  std::vector<LinkId> active_links;
-  active_links.reserve(flows_.size() * 4);
+  // Effective capacities given current flow counts per link (maintained by
+  // start_flow/settle).  Only links actually carrying flows participate (the
+  // cluster registers hundreds of links; an op touches a handful).  The mark
+  // stamp dedupes active links without per-solve clearing, and the scratch
+  // vectors are members so a steady-state solve performs no allocation.
+  active_links_.clear();
+  const std::uint64_t stamp = ++solve_stamp_;
   for (const Flow& f : flows_) {
     for (const LinkId id : f.path) {
-      if (link_flow_count_[id]++ == 0) active_links.push_back(id);
+      if (link_mark_[id] != stamp) {
+        link_mark_[id] = stamp;
+        active_links_.push_back(id);
+      }
     }
   }
-  std::vector<double> residual(links_.size(), 0.0);
-  std::vector<std::size_t> unfrozen_on_link(links_.size(), 0);
-  for (const LinkId l : active_links) {
-    residual[l] = links_[l].effective_capacity(link_flow_count_[l]);
-    unfrozen_on_link[l] = link_flow_count_[l];
+  for (const LinkId l : active_links_) {
+    residual_[l] = links_[l].effective_capacity(link_flow_count_[l]);
+    unfrozen_on_link_[l] = link_flow_count_[l];
   }
 
   // Progressive filling: raise every unfrozen flow's rate uniformly until a
   // link saturates or a flow hits its own cap; freeze and repeat.
-  std::vector<bool> frozen(n_flows, false);
+  frozen_.assign(n_flows, 0);
   std::size_t n_frozen = 0;
   double level = 0.0;
   while (n_frozen < n_flows) {
     // Smallest increment that saturates some constraint.
     double delta = std::numeric_limits<double>::infinity();
-    for (const LinkId l : active_links) {
-      if (unfrozen_on_link[l] > 0) {
-        delta = std::min(delta, residual[l] / static_cast<double>(unfrozen_on_link[l]));
+    for (const LinkId l : active_links_) {
+      if (unfrozen_on_link_[l] > 0) {
+        delta = std::min(delta, residual_[l] / static_cast<double>(unfrozen_on_link_[l]));
       }
     }
     for (std::size_t i = 0; i < n_flows; ++i) {
-      if (!frozen[i]) delta = std::min(delta, flows_[i].cap - level);
+      if (!frozen_[i]) delta = std::min(delta, flows_[i].cap - level);
     }
     if (!std::isfinite(delta)) throw std::logic_error("max-min fill diverged (uncapped flow on no links?)");
     if (delta < 0.0) delta = 0.0;
 
     level += delta;
-    for (const LinkId l : active_links) {
-      residual[l] -= delta * static_cast<double>(unfrozen_on_link[l]);
+    for (const LinkId l : active_links_) {
+      residual_[l] -= delta * static_cast<double>(unfrozen_on_link_[l]);
     }
 
     // Freeze flows that hit their cap or sit on a saturated link.
     bool any_frozen_this_round = false;
     for (std::size_t i = 0; i < n_flows; ++i) {
-      if (frozen[i]) continue;
+      if (frozen_[i]) continue;
       bool saturated = flows_[i].cap - level <= kRateEpsilon;
       if (!saturated) {
         for (const LinkId id : flows_[i].path) {
-          if (residual[id] <= kRateEpsilon * links_[id].raw_capacity) {
+          if (residual_[id] <= kRateEpsilon * links_[id].raw_capacity) {
             saturated = true;
             break;
           }
         }
       }
       if (saturated) {
-        frozen[i] = true;
+        frozen_[i] = 1;
         ++n_frozen;
         any_frozen_this_round = true;
         flows_[i].rate = level;
-        for (const LinkId id : flows_[i].path) --unfrozen_on_link[id];
+        for (const LinkId id : flows_[i].path) --unfrozen_on_link_[id];
       }
     }
     if (!any_frozen_this_round) {
       // Numerical corner: nothing saturated exactly; freeze everything at
       // the current level to guarantee termination.
       for (std::size_t i = 0; i < n_flows; ++i) {
-        if (!frozen[i]) {
-          frozen[i] = true;
+        if (!frozen_[i]) {
+          frozen_[i] = 1;
           ++n_frozen;
           flows_[i].rate = level;
         }
@@ -171,16 +206,27 @@ void FlowScheduler::recompute_rates() {
   fair_share_floor_ = std::isfinite(floor) ? floor : 0.0;
 }
 
-void FlowScheduler::settle() {
+void FlowScheduler::settle(std::size_t added_idx) {
   completion_timer_.cancel();
 
-  // Complete flows that are done as of now.
+  // Complete flows that are done as of now, tracking where the just-added
+  // flow ends up under swap-removal and whether any departure left other
+  // flows behind on a shared link (those flows' rates may now rise).
   bool completed_any = false;
+  bool shared_departure = false;
   for (std::size_t i = 0; i < flows_.size();) {
     if (flows_[i].remaining <= kCompletionEpsilon) {
+      for (const LinkId id : flows_[i].path) {
+        if (--link_flow_count_[id] > 0) shared_departure = true;
+      }
       const auto waiter = flows_[i].waiter;
       stats_.bytes_delivered += flows_[i].total;
       ++stats_.flows_completed;
+      if (i == added_idx) {
+        added_idx = kNoFlow;  // the arrival itself finished instantly
+      } else if (flows_.size() - 1 == added_idx) {
+        added_idx = i;  // the arrival is the back element being swapped in
+      }
       flows_[i] = std::move(flows_.back());
       flows_.pop_back();
       completed_any = true;
@@ -189,7 +235,11 @@ void FlowScheduler::settle() {
       ++i;
     }
   }
-  if (completed_any) maybe_recompute(nullptr);
+  // Exactly one rate update per settle, even when an arrival and one or more
+  // completions coincide at the same instant (this used to run the solver —
+  // and count a rate_recomputation — twice for that case).
+  Flow* added = added_idx == kNoFlow ? nullptr : &flows_[added_idx];
+  if (completed_any || added != nullptr) maybe_recompute(added, shared_departure);
   if (flows_.empty()) return;
 
   // Earliest next completion (seconds), rounded up to a whole nanosecond so

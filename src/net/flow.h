@@ -109,24 +109,44 @@ class FlowScheduler {
     std::coroutine_handle<> waiter;
   };
 
+  static constexpr std::size_t kNoFlow = static_cast<std::size_t>(-1);
+
   void start_flow(std::vector<LinkId> path, double bytes, double rate_cap, std::coroutine_handle<> h);
   /// Applies progress for the elapsed interval since the last update.
   void advance_progress();
   /// Recomputes all flow rates (progressive-filling max-min).
   void recompute_rates();
-  /// Full recompute, or a cheap bounded-staleness update for `added` (see
-  /// set_lazy_recompute).
-  void maybe_recompute(Flow* added);
-  /// Completes any finished flows and re-arms the completion timer.
-  void settle();
+  /// Rate update after the active set changed: exact solve (with disjoint
+  /// fast paths) below the lazy threshold, bounded-staleness above it.
+  /// `added` is the flow that just arrived (may be null); `shared_departure`
+  /// means a completed flow left other flows behind on one of its links.
+  void maybe_recompute(Flow* added, bool shared_departure);
+  /// True if no other active flow shares a link with `f`.
+  [[nodiscard]] bool links_private_to(const Flow& f) const;
+  /// Max-min rate of a flow alone on every link of its path.
+  [[nodiscard]] double solo_rate(const Flow& f) const;
+  /// Completes any finished flows, performs at most ONE rate update for the
+  /// combined arrival/departure change at this instant, and re-arms the
+  /// completion timer.  `added_idx` indexes the flow pushed by start_flow
+  /// (kNoFlow when called from the timer or set_capacity_factor).
+  void settle(std::size_t added_idx = kNoFlow);
 
   sim::Scheduler& sched_;
   std::vector<Link> links_;
   std::vector<Flow> flows_;
-  std::vector<std::size_t> link_flow_count_;  // scratch, sized to links_
+  std::vector<std::size_t> link_flow_count_;  // active flows per link, maintained
   sim::TimePoint last_update_ = 0;
   sim::Timer completion_timer_;
   FlowStats stats_;
+  // Solver scratch, persistent so steady-state recomputes do not allocate.
+  // link_mark_ carries the stamp of the last solve that saw the link active,
+  // so active-link dedup needs no per-solve clearing.
+  std::vector<LinkId> active_links_;
+  std::vector<double> residual_;
+  std::vector<std::size_t> unfrozen_on_link_;
+  std::vector<char> frozen_;
+  std::vector<std::uint64_t> link_mark_;
+  std::uint64_t solve_stamp_ = 0;
   std::size_t lazy_threshold_ = 224;
   std::size_t lazy_interval_ = 12;
   std::size_t changes_since_full_ = 0;

@@ -11,6 +11,14 @@ Scheduler::Detached Scheduler::run_root(Scheduler& sched, Task<void> task) {
   }
 }
 
+Scheduler::~Scheduler() {
+  // Outstanding Timer handles keep the slot table alive, but stored
+  // callbacks (and their captures) are released with the scheduler, matching
+  // the old behaviour of dropping the queue's callback ownership here.
+  timers_->dead = true;
+  for (Timer::Slot& slot : timers_->slots) slot.callback.reset();
+}
+
 void Scheduler::spawn(Task<void> task) {
   if (!task.valid()) throw std::invalid_argument("spawn of empty task");
   ++live_;
@@ -20,35 +28,52 @@ void Scheduler::spawn(Task<void> task) {
 
 void Scheduler::schedule_handle(TimePoint t, std::coroutine_handle<> h) {
   if (t < now_) throw std::logic_error("schedule_handle in the past");
-  queue_.push(Event{t, next_seq_++, h, nullptr});
+  queue_.push(Event{t, next_seq_++, h, kNoTimer, 0});
 }
 
-Timer Scheduler::schedule_callback(TimePoint t, std::function<void()> cb) {
-  if (t < now_) throw std::logic_error("schedule_callback in the past");
-  auto state = std::make_shared<Timer::State>();
-  state->callback = std::move(cb);
-  queue_.push(Event{t, next_seq_++, nullptr, state});
-  return Timer{state};
+std::uint32_t Scheduler::acquire_slot() {
+  if (!timers_->free_slots.empty()) {
+    const std::uint32_t slot = timers_->free_slots.back();
+    timers_->free_slots.pop_back();
+    return slot;
+  }
+  timers_->slots.emplace_back();
+  return static_cast<std::uint32_t>(timers_->slots.size() - 1);
+}
+
+void Scheduler::recycle_slot(std::uint32_t slot) {
+  Timer::Slot& s = timers_->slots[slot];
+  ++s.generation;  // outstanding handles to the old incarnation go stale
+  s.cancelled = false;
+  timers_->free_slots.push_back(slot);
 }
 
 bool Scheduler::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (ev.timer && ev.timer->cancelled) continue;  // skip cancelled timers
+    if (ev.timer_slot != kNoTimer) {
+      Timer::Slot& slot = timers_->slots[ev.timer_slot];
+      if (slot.generation != ev.timer_generation) continue;  // stale entry
+      if (slot.cancelled) {  // skip cancelled timers (not counted as events)
+        recycle_slot(ev.timer_slot);
+        continue;
+      }
+      now_ = ev.t;
+      ++events_executed_;
+      // Detach the callback before invoking: the callback may cancel or
+      // reassign the Timer handle — or schedule a new timer into this very
+      // slot — and a fired timer must not keep captured resources alive
+      // afterwards.
+      InlineCallback callback = std::move(slot.callback);
+      slot.callback.reset();
+      recycle_slot(ev.timer_slot);
+      callback();
+      return true;
+    }
     now_ = ev.t;
     ++events_executed_;
-    if (ev.handle) {
-      ev.handle.resume();
-    } else {
-      ev.timer->fired = true;
-      // Detach the callback before invoking: the callback may cancel or
-      // reassign the Timer handle, and a fired timer must not keep captured
-      // resources alive afterwards.
-      auto callback = std::move(ev.timer->callback);
-      ev.timer->callback = nullptr;
-      callback();
-    }
+    ev.handle.resume();
     return true;
   }
   return false;

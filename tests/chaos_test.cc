@@ -32,6 +32,7 @@
 #include "fdb/field_io.h"
 #include "harness/experiment.h"
 #include "harness/field_bench.h"
+#include "harness/run_pool.h"
 
 namespace nws::bench {
 namespace {
@@ -153,11 +154,20 @@ Outcome run_scenario(std::uint64_t seed) {
 TEST(ChaosSweep, DefaultProfileHoldsInvariants) {
   const std::uint64_t base = env_u64("NWS_CHAOS_SEED", 1);
   const std::uint64_t count = env_u64("NWS_CHAOS_COUNT", 200);
+  // The sweep fans out over the run pool (NWS_JOBS workers, default all
+  // cores); every scenario is a pure function of its seed so the outcomes —
+  // and the failure report below, emitted on this thread in seed order —
+  // are bit-identical at any job count.  Single-seed replay
+  // (NWS_CHAOS_SEED set) stays strictly serial for clean stack traces.
+  const std::size_t jobs =
+      std::getenv("NWS_CHAOS_SEED") != nullptr ? 1 : normalize_jobs(env_u64("NWS_JOBS", 0));
+  const std::vector<Outcome> outcomes = parallel_map(
+      count, jobs, [&](std::size_t i) { return run_scenario(base + i); });
 
   std::uint64_t total_retries = 0;
   std::uint64_t faulted_scenarios = 0;
   for (std::uint64_t seed = base; seed < base + count; ++seed) {
-    const Outcome out = run_scenario(seed);
+    const Outcome& out = outcomes[seed - base];
     const std::string repro = "replay: NWS_CHAOS_SEED=" + std::to_string(seed) +
                               " NWS_CHAOS_COUNT=1 ./chaos_test "
                               "--gtest_filter=ChaosSweep.DefaultProfileHoldsInvariants";
@@ -171,9 +181,14 @@ TEST(ChaosSweep, DefaultProfileHoldsInvariants) {
     if (out.faults_fired > 0) ++faulted_scenarios;
   }
 
-  // The sweep must actually exercise the fault machinery, not vacuously pass.
-  EXPECT_GT(faulted_scenarios, count / 2) << "chaos profile injected almost nothing";
-  EXPECT_GT(total_retries, 0u) << "no operation ever retried across the sweep";
+  // The sweep must actually exercise the fault machinery, not vacuously
+  // pass.  These are aggregates over the whole sweep; a single-seed replay
+  // (NWS_CHAOS_SEED) reproduces one scenario, which may legitimately fire
+  // faults yet complete without a retry, so the guards only apply to sweeps.
+  if (std::getenv("NWS_CHAOS_SEED") == nullptr) {
+    EXPECT_GT(faulted_scenarios, count / 2) << "chaos profile injected almost nothing";
+    EXPECT_GT(total_retries, 0u) << "no operation ever retried across the sweep";
+  }
 }
 
 // ---- determinism / replay ---------------------------------------------------

@@ -2,9 +2,15 @@
 // patterns and the experiment runner.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
 #include "harness/experiment.h"
 #include "harness/field_bench.h"
 #include "harness/io_log.h"
+#include "harness/run_pool.h"
 #include "ior/ior.h"
 #include "mpibench/mpibench.h"
 #include "sim/sync.h"
@@ -300,6 +306,113 @@ TEST(ExperimentTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.read_bw, b.read_bw);
   const RunOutcome c = run_ior_once(testbed_config(1, 1), params, 100);
   EXPECT_NE(a.write_bw, c.write_bw);  // different seed, different jitter
+}
+
+// ---- parallel run engine ----------------------------------------------------
+
+TEST(RunPoolTest, ParallelMapReturnsResultsInIndexOrder) {
+  const std::vector<std::size_t> out =
+      parallel_map(std::size_t{100}, std::size_t{8}, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(RunPoolTest, EveryJobRunsExactlyOnce) {
+  constexpr std::size_t kJobs = 257;  // not a multiple of the worker count
+  std::vector<std::atomic<int>> hits(kJobs);
+  RunPool pool(8);
+  EXPECT_EQ(pool.threads(), 8u);
+  pool.run(kJobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+}
+
+TEST(RunPoolTest, PoolIsReusableAcrossSweeps) {
+  RunPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    pool.run(40, [&](std::size_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 5u * (39u * 40u / 2u));
+}
+
+TEST(RunPoolTest, LowestIndexedExceptionWinsAndSweepStillDrains) {
+  std::vector<std::atomic<int>> hits(64);
+  auto sweep = [&](std::size_t jobs) -> std::string {
+    for (auto& h : hits) h.store(0);
+    try {
+      parallel_map(std::size_t{64}, jobs, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 7 || i == 41) throw std::runtime_error("job " + std::to_string(i));
+        return i;
+      });
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Identical rethrow choice serial and parallel, and no job is skipped.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    EXPECT_EQ(sweep(jobs), "job 7") << jobs << " jobs";
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(RunPoolTest, NormalizeAndDefaultJobs) {
+  EXPECT_GE(normalize_jobs(0), 1u);  // 0 -> hardware_concurrency, min 1
+  EXPECT_EQ(normalize_jobs(3), 3u);
+  const std::size_t saved = default_jobs();
+  set_default_jobs(5);
+  EXPECT_EQ(default_jobs(), 5u);
+  set_default_jobs(saved);
+}
+
+TEST(RunPoolTest, ParallelSweepBitIdenticalToSerial) {
+  // The PR's core determinism claim: a real simulation sweep — fresh
+  // scheduler + cluster per seed — folded at --jobs 1 and --jobs 8 yields
+  // bit-identical per-seed RunOutcomes, not merely close ones.
+  const auto run_one = [](std::size_t i) {
+    FieldBenchParams params;
+    params.ops_per_process = 3;
+    params.processes_per_node = 4;
+    return run_field_once(testbed_config(1, 1), params, i % 2 == 0 ? 'A' : 'B',
+                          1000 + 37 * static_cast<std::uint64_t>(i));
+  };
+  const std::vector<RunOutcome> serial = parallel_map(std::size_t{12}, std::size_t{1}, run_one);
+  const std::vector<RunOutcome> parallel = parallel_map(std::size_t{12}, std::size_t{8}, run_one);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].failed, parallel[i].failed) << "seed index " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial[i].write_bw),
+              std::bit_cast<std::uint64_t>(parallel[i].write_bw))
+        << "seed index " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial[i].read_bw),
+              std::bit_cast<std::uint64_t>(parallel[i].read_bw))
+        << "seed index " << i;
+  }
+}
+
+TEST(ExperimentTest, RepeatAndBestOverPpnIdenticalAtAnyJobCount) {
+  ior::IorParams params;
+  params.segments = 10;
+  params.processes_per_node = 4;
+  const auto run = [&](std::uint64_t seed) { return run_ior_once(testbed_config(1, 1), params, seed); };
+  const RepetitionSummary serial = repeat(5, 42, run, 1);
+  const RepetitionSummary parallel = repeat(5, 42, run, 8);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.write.mean()),
+            std::bit_cast<std::uint64_t>(parallel.write.mean()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.read.mean()),
+            std::bit_cast<std::uint64_t>(parallel.read.mean()));
+
+  const auto run_ppn = [&](std::size_t ppn, std::uint64_t seed) {
+    ior::IorParams p = params;
+    p.processes_per_node = ppn;
+    return run_ior_once(testbed_config(1, 1), p, seed);
+  };
+  const BestOfPpn best_serial = best_over_ppn({2, 4, 8}, 2, 7, run_ppn, 1);
+  const BestOfPpn best_parallel = best_over_ppn({2, 4, 8}, 2, 7, run_ppn, 8);
+  EXPECT_EQ(best_serial.ppn, best_parallel.ppn);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(best_serial.summary.mean_aggregate()),
+            std::bit_cast<std::uint64_t>(best_parallel.summary.mean_aggregate()));
 }
 
 TEST(MpiBenchTest, Table2Shape) {

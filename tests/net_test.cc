@@ -139,6 +139,52 @@ TEST(FlowSchedulerTest, DisjointFlowsDoNotInterfere) {
   EXPECT_EQ(b, sim::seconds(10.0));
 }
 
+TEST(FlowSchedulerTest, DisjointArrivalsSkipFullSolve) {
+  // Exact-regime fast path: an arrival whose links carry no other flow takes
+  // its solo bottleneck rate without running the max-min solver, and a
+  // departure that leaves its links empty needs no solve either.
+  Fixture fx;
+  const LinkId l1 = fx.flows.add_link(plain_link("l1", 100.0));
+  const LinkId l2 = fx.flows.add_link(plain_link("l2", 100.0));
+  sim::TimePoint a = -1;
+  sim::TimePoint b = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {l1}, 1000, kInf, &a, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {l2}, 1000, 40.0, &b, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(a, sim::seconds(10.0));
+  EXPECT_EQ(b, sim::seconds(25.0));  // solo rate still honours the flow cap
+  EXPECT_EQ(fx.flows.stats().rate_recomputations, 0u);
+}
+
+sim::Task<void> transfer_at(Fixture& fx, sim::TimePoint when, std::vector<LinkId> path,
+                            nws::Bytes bytes, sim::TimePoint* done_at) {
+  co_await fx.sched.delay(when - fx.sched.now());
+  co_await fx.flows.transfer(std::move(path), bytes, kInf);
+  *done_at = fx.sched.now();
+}
+
+TEST(FlowSchedulerTest, CoincidentArrivalAndCompletionSolveOnce) {
+  // Regression: when start_flow's settle() also completes a flow at the same
+  // instant, the combined change must be charged exactly ONE rate update, not
+  // one for the completions plus one for the arrival.
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint a = -1;
+  sim::TimePoint b = -1;
+  // B's wake-up timer is scheduled before A's completion timer, so at t=10s
+  // B's start_flow runs first and its settle() sweeps up the just-finished A
+  // (a shared departure: B is now on A's link).
+  fx.sched.spawn(transfer_at(fx, sim::seconds(10.0), {link}, 500, &b));
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 1000, kInf, &a, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(a, sim::seconds(10.0));
+  EXPECT_EQ(b, sim::seconds(15.0));
+  EXPECT_EQ(fx.flows.stats().flows_completed, 2u);
+  // A's arrival and B's departure both hit fast paths; the only solve is the
+  // coincident arrival+completion at t=10s.
+  EXPECT_EQ(fx.flows.stats().rate_recomputations, 1u);
+}
+
 TEST(FlowSchedulerTest, EmptyPathCompletesImmediately) {
   Fixture fx;
   sim::TimePoint done = -1;
