@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "1,4,12,48", "processes-per-node sweep (low = latency-bound)");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "ablation_transfer_scheme");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
             bench::repeat(reps, seed + s * 57 + ppn, [&](std::uint64_t rs) {
               return bench::run_ior_once(bench::testbed_config(s, 2 * s), params, rs);
             });
+        obs.merge_metrics(summary.metrics);
         if (summary.write.empty()) {
           table.add_row({std::to_string(s), std::to_string(ppn), "failed", summary.failure});
           continue;
@@ -75,6 +77,6 @@ int main(int argc, char** argv) {
   std::cout << "paper 5.1: single-shot approximates the storage's ideal throughput; per-part\n"
                "           transfers pay per-operation overheads, visible while latency-bound\n"
                "           (low ppn) and amortised once the storage saturates (high ppn)\n";
-  bench::emit(table, "Ablation: single-shot vs per-segment transfers (IOR, pattern A)", cli);
-  return 0;
+  bench::emit(table, "Ablation: single-shot vs per-segment transfers (IOR, pattern A)", cli, obs);
+  return obs.finish();
 }

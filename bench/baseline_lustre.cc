@@ -177,6 +177,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "40", "processes per client node");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "baseline_lustre");
 
   const bool quick = cli.get_bool("quick");
   lustre::LustreConfig cfg;
@@ -212,6 +213,7 @@ int main(int argc, char** argv) {
   const bench::RunOutcome daos =
       bench::run_field_once(bench::testbed_config(daos_servers, 2 * daos_servers), params, 'B', 7);
   if (!daos.failed) {
+    obs.merge_metrics(daos.metrics);
     table.add_row({strf("DAOS field I/O, %zu server nodes (pattern B)", daos_servers),
                    strf("%.0f", daos.write_bw), strf("%.0f", daos.read_bw),
                    strf("aggregated %.0f GiB/s on %zu nodes", daos.write_bw + daos.read_bw,
@@ -220,6 +222,6 @@ int main(int argc, char** argv) {
 
   std::cout << "paper 1.2: Lustre ~300 OSTs: 165 GiB/s IOR, ~50 GiB/s sustained mixed;\n"
                "paper 7  : a small DAOS/SCM system matches the operational Lustre bandwidth\n";
-  bench::emit(table, "Baseline: operational Lustre system vs DAOS", cli);
-  return 0;
+  bench::emit(table, "Baseline: operational Lustre system vs DAOS", cli, obs);
+  return obs.finish();
 }

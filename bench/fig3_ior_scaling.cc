@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_flag("segments", "100", "IOR segment count (-s)");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "fig3_ior_scaling");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
             params.processes_per_node = ppn;
             return bench::run_ior_once(cfg, params, rep_seed);
           });
+      obs.merge_metrics(best.summary.metrics);
       if (best.summary.write.empty()) {
         table.add_row({std::to_string(s), std::to_string(c), "-", "failed", best.summary.failure});
         continue;
@@ -65,6 +67,6 @@ int main(int argc, char** argv) {
 
   std::cout << "paper: write ~2.5 GiB/s/engine; read ~3.75 GiB/s/engine (5 at a single node);\n"
                "       2x client nodes best; slight droop above 8 server nodes\n";
-  bench::emit(table, "Fig. 3: IOR segments, access pattern A, mean synchronous bandwidth", cli);
-  return 0;
+  bench::emit(table, "Fig. 3: IOR segments, access pattern A, mean synchronous bandwidth", cli, obs);
+  return obs.finish();
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "32", "processes per client node");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "fig4_fieldio_high_contention");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
             bench::repeat(reps, seed + s * 17 + static_cast<std::uint64_t>(mode), [&](std::uint64_t rs) {
               return bench::run_field_once(bench::testbed_config(s, clients), params, pattern, rs);
             });
+        obs.merge_metrics(summary.metrics);
         if (summary.write.empty() && summary.read.empty()) {
           table.add_row({std::string(1, pattern), fdb::mode_name(mode), std::to_string(s), "failed",
                          summary.failure});
@@ -65,6 +67,6 @@ int main(int argc, char** argv) {
 
   std::cout << "paper: no-index ~2.5w/3.75r per engine; indexed modes bend past 4 server nodes;\n"
                "       pattern B aggregated ~= pattern A aggregated\n";
-  bench::emit(table, "Fig. 4: Field I/O, high contention on the shared index KV", cli);
-  return 0;
+  bench::emit(table, "Fig. 4: Field I/O, high contention on the shared index KV", cli, obs);
+  return obs.finish();
 }

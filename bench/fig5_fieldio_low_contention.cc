@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   cli.add_flag("emulate-issues", "true", "emulate the >8-server container creation issue");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "fig5_fieldio_low_contention");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
             bench::repeat(reps, seed + s * 23 + static_cast<std::uint64_t>(mode), [&](std::uint64_t rs) {
               return bench::run_field_once(cfg, params, pattern, rs);
             });
+        obs.merge_metrics(summary.metrics);
         if (summary.write.empty() && summary.read.empty()) {
           table.add_row({std::string(1, pattern), fdb::mode_name(mode), std::to_string(s), "-", "-", "-",
                          "FAILED: " + summary.failure});
@@ -71,6 +73,6 @@ int main(int argc, char** argv) {
 
   std::cout << "paper: pattern B no-containers ~2.75 aggregated/engine (~70 GiB/s @ 12 servers);\n"
                "       full & no-index ~1.6; full mode pattern A fails > 8 servers\n";
-  bench::emit(table, "Fig. 5: Field I/O, low contention (index KV per process)", cli);
-  return 0;
+  bench::emit(table, "Fig. 5: Field I/O, low contention (index KV per process)", cli, obs);
+  return obs.finish();
 }

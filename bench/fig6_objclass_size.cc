@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_flag("pattern", "A", "access pattern (A per the figure; B discussed in the text)");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "fig6_objclass_size");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
           reps, seed + size / 1_MiB + static_cast<std::uint64_t>(oclass) * 97, [&](std::uint64_t rs) {
             return bench::run_field_once(bench::testbed_config(2, 4), params, pattern, rs);
           });
+      obs.merge_metrics(summary.metrics);
       if (summary.write.empty() && summary.read.empty()) {
         table.add_row({daos::object_class_name(oclass), std::to_string(size / 1_MiB), "failed",
                        summary.failure});
@@ -67,6 +69,6 @@ int main(int argc, char** argv) {
 
   std::cout << "paper: 1 -> 5/10 MiB roughly doubles bandwidth; plateau/slight drop at 20 MiB;\n"
                "       SX best for write, S2 best for read; 1 MiB S1 among the slowest\n";
-  bench::emit(table, "Fig. 6: object class and size sweep (full mode, 2 servers + 4 clients)", cli);
-  return 0;
+  bench::emit(table, "Fig. 6: object class and size sweep (full mode, 2 servers + 4 clients)", cli, obs);
+  return obs.finish();
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   cli.add_flag("segments", "100", "IOR segment count (-s)");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "fig7_tcp_vs_psm2");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
             params.processes_per_node = ppn;
             return bench::run_ior_once(cfg, params, rs);
           });
+      obs.merge_metrics(best.summary.metrics);
       if (!best.summary.write.empty()) {
         bw[p_index][0] = best.summary.write.mean();
         bw[p_index][1] = best.summary.read.mean();
@@ -67,6 +69,6 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "paper: PSM2 10-25% above TCP with the same scaling shape\n";
-  bench::emit(table, "Fig. 7: IOR, 4 single-engine servers, TCP vs PSM2", cli);
-  return 0;
+  bench::emit(table, "Fig. 7: IOR, 4 single-engine servers, TCP vs PSM2", cli, obs);
+  return obs.finish();
 }

@@ -1,0 +1,136 @@
+// Validates the --trace / --report JSON artifacts the bench binaries emit.
+//
+//   obs_lint --trace=FILE    # Chrome trace_event JSON (Perfetto-loadable)
+//   obs_lint --report=FILE   # nws-report-v1 run report
+//
+// Exit 0 if every given artifact is well-formed, non-empty and
+// internally consistent; exit 1 with a diagnostic otherwise.  Used by the
+// scripts/check.sh artifact stage; kept free of third-party dependencies by
+// building on the obs JSON parser.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+using nws::obs::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Throws std::runtime_error with a diagnostic on the first violation.
+void lint_trace(const JsonValue& doc) {
+  if (!doc.is_object()) throw std::runtime_error("top level is not an object");
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error("missing traceEvents array");
+  }
+  std::size_t spans = 0;
+  double prev_ts = -1.0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!ev.is_object()) throw std::runtime_error(at + " is not an object");
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) throw std::runtime_error(at + " has no ph");
+    for (const char* req : {"name", "pid"}) {
+      if (ev.find(req) == nullptr) throw std::runtime_error(at + " has no " + req);
+    }
+    if (ph->str == "M") continue;  // process_name metadata
+    if (ph->str != "X") throw std::runtime_error(at + " has unexpected ph " + ph->str);
+    ++spans;
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* tid = ev.find("tid");
+    if (ts == nullptr || !ts->is_number()) throw std::runtime_error(at + " has no numeric ts");
+    if (dur == nullptr || !dur->is_number()) throw std::runtime_error(at + " has no numeric dur");
+    if (tid == nullptr || !tid->is_number()) throw std::runtime_error(at + " has no numeric tid");
+    if (dur->number < 0.0) throw std::runtime_error(at + " has negative dur");
+    // The exporter sorts complete events by start time.
+    if (ts->number < prev_ts) throw std::runtime_error(at + " breaks ts monotonicity");
+    prev_ts = ts->number;
+  }
+  if (spans == 0) throw std::runtime_error("trace has no spans");
+  std::cout << "trace ok: " << spans << " spans\n";
+}
+
+void lint_report(const JsonValue& doc) {
+  if (!doc.is_object()) throw std::runtime_error("top level is not an object");
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->str != nws::obs::kReportSchema) {
+    throw std::runtime_error(std::string("schema is not ") + nws::obs::kReportSchema);
+  }
+  const JsonValue* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->str.empty()) {
+    throw std::runtime_error("missing bench name");
+  }
+  const JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->is_object() || config->object.empty()) {
+    throw std::runtime_error("missing or empty config object");
+  }
+  const JsonValue* tables = doc.find("tables");
+  if (tables == nullptr || !tables->is_array()) throw std::runtime_error("missing tables array");
+  for (std::size_t i = 0; i < tables->array.size(); ++i) {
+    const JsonValue& t = tables->array[i];
+    const std::string at = "tables[" + std::to_string(i) + "]";
+    const JsonValue* headers = t.find("headers");
+    const JsonValue* rows = t.find("rows");
+    if (!t.is_object() || t.find("title") == nullptr || headers == nullptr || rows == nullptr) {
+      throw std::runtime_error(at + " lacks title/headers/rows");
+    }
+    for (const JsonValue& row : rows->array) {
+      if (row.array.size() != headers->array.size()) {
+        throw std::runtime_error(at + " has a row/header width mismatch");
+      }
+    }
+  }
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) throw std::runtime_error("missing metrics object");
+  for (const auto& [name, metric] : metrics->object) {
+    const JsonValue* kind = metric.find("kind");
+    if (!metric.is_object() || kind == nullptr || !kind->is_string()) {
+      throw std::runtime_error("metric " + name + " has no kind");
+    }
+  }
+  std::cout << "report ok: bench " << bench->str << ", " << tables->array.size() << " tables, "
+            << metrics->object.size() << " metrics\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int checked = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto check = [&](const std::string& prefix, void (*lint)(const JsonValue&)) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      const std::string path = arg.substr(prefix.size());
+      lint(nws::obs::parse_json(read_file(path)));
+      ++checked;
+      return true;
+    };
+    try {
+      if (!check("--trace=", lint_trace) && !check("--report=", lint_report)) {
+        std::cerr << "usage: obs_lint [--trace=FILE] [--report=FILE]\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << arg << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (checked == 0) {
+    std::cerr << "usage: obs_lint [--trace=FILE] [--report=FILE]\n";
+    return 2;
+  }
+  return 0;
+}

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ppn", "32", "processes per client node");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "projection_future_volumes");
 
   const bool quick = cli.get_bool("quick");
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
     const bench::RepetitionSummary summary = bench::repeat(reps, seed + s, [&](std::uint64_t rs) {
       return bench::run_field_once(bench::testbed_config(s, 2 * s), params, 'B', rs);
     });
+    obs.merge_metrics(summary.metrics);
     if (summary.write.empty()) {
       table.add_row({std::to_string(s), "failed", summary.failure});
       continue;
@@ -67,6 +69,6 @@ int main(int argc, char** argv) {
 
   std::cout << "paper 1.3: windows move 40 TiB today, ~180 TiB soon, ~700 TiB later; the\n"
                "           1-hour operational window bounds sustained bandwidth demand\n";
-  bench::emit(table, "Projection: time-critical window volumes on larger DAOS clusters", cli);
-  return 0;
+  bench::emit(table, "Projection: time-critical window volumes on larger DAOS clusters", cli, obs);
+  return obs.finish();
 }

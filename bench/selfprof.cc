@@ -167,6 +167,7 @@ int main(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::size_t jobs = resolve_jobs(cli);
+  BenchObs obs(cli, "selfprof");
   const auto sweep_seeds = static_cast<std::size_t>(cli.get_int("sweep-seeds"));
 
   const std::vector<ScenarioResult> scenarios = run_scenarios(seed);
@@ -219,5 +220,5 @@ int main(int argc, char** argv) {
     out << json.str();
     std::cout << "(JSON written to " << out_path << ")\n";
   }
-  return 0;
+  return obs.finish();
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cli.add_flag("segments", "100", "IOR segment count (-s)");
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "table1_ior_single_server");
 
   const bool quick = cli.get_bool("quick");
   std::vector<std::size_t> ppn_candidates;
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
         if (!out.failed) {
           best_w = std::max(best_w, out.write_bw);
           best_r = std::max(best_r, out.read_bw);
+          obs.merge_metrics(out.metrics);
         }
       }
       cells[clients - 1] = strf("%.1fw / %.1fr", best_w, best_r);
@@ -73,6 +75,6 @@ int main(int argc, char** argv) {
                    strf("%.1fw / %.1fr", config.paper_1c_w, config.paper_1c_r), cells[1],
                    strf("%.1fw / %.1fr", config.paper_2c_w, config.paper_2c_r)});
   }
-  bench::emit(table, "Table 1: Access pattern A, IOR segments, 1 server node (max sync bandwidth)", cli);
-  return 0;
+  bench::emit(table, "Table 1: Access pattern A, IOR segments, 1 server node (max sync bandwidth)", cli, obs);
+  return obs.finish();
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::resolve_jobs(cli);
+  bench::BenchObs obs(cli, "table2_mpi_p2p");
 
   struct Row {
     const char* provider;
@@ -38,6 +39,6 @@ int main(int argc, char** argv) {
                    strf("%.2f", static_cast<double>(result.best_size) / kMiB),
                    strf("%.1f", to_gib_per_sec(result.best_bandwidth)), strf("%.1f", row.paper_bw)});
   }
-  bench::emit(table, "Table 2: MPI process-to-process transfer bandwidth", cli);
-  return 0;
+  bench::emit(table, "Table 2: MPI process-to-process transfer bandwidth", cli, obs);
+  return obs.finish();
 }

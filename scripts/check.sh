@@ -5,6 +5,9 @@
 # coroutine frame or a buffer overrun under injected faults fails here even
 # when the plain build happens to pass — and the TSan pass guards the
 # work-stealing sweep engine (src/harness/run_pool) against data races.
+# The plain and TSan passes additionally run one bench binary with
+# --trace/--report and validate both JSON artifacts with obs_lint, so a
+# schema regression in the observability layer fails CI, not Perfetto.
 #
 # Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only] [--jobs N]
 #
@@ -31,11 +34,27 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
+# Runs one quick bench out of $1/bench with tracing + reporting on and lints
+# the artifacts it wrote.  Kept tiny (--quick, 1 repetition, 4 ops) so the
+# stage costs seconds while still covering span export, metrics folding and
+# the nws-report-v1 schema end to end.
+check_artifacts() {
+  local build_dir="$1"
+  local scratch
+  scratch="$(mktemp -d)"
+  echo "==> artifact check ($build_dir, fig6_objclass_size --trace/--report)"
+  "$build_dir"/bench/fig6_objclass_size --quick --reps=1 --ops=4 \
+    --trace="$scratch/trace.json" --report="$scratch/report.json" >/dev/null
+  "$build_dir"/bench/obs_lint --trace="$scratch/trace.json" --report="$scratch/report.json"
+  rm -rf "$scratch"
+}
+
 if [[ $run_plain -eq 1 ]]; then
   echo "==> plain build (build/)"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "$jobs"
   NWS_JOBS="$jobs" ctest --test-dir build --output-on-failure -j "$jobs"
+  check_artifacts build
 fi
 
 if [[ $run_sanitize -eq 1 ]]; then
@@ -51,14 +70,17 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "==> TSan build (build-tsan/, -fsanitize=thread): run pool + chaos sweep"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DNWS_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test
+  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test fig6_objclass_size obs_lint
   # The pool tests pin their own thread counts; the chaos sweep runs a
   # reduced scenario count (TSan is ~10x slower) across all hardware threads
-  # to actually exercise cross-thread stealing.
+  # to actually exercise cross-thread stealing.  StatsRaceTest hammers the
+  # Summary order-statistic cache from 8 const readers — the regression test
+  # for the lazily-built sorted_ cache being written under const.
   TSAN_OPTIONS=halt_on_error=1 \
-    ./build-tsan/tests/harness_test --gtest_filter='RunPoolTest.*:ExperimentTest.RepeatAndBestOverPpnIdenticalAtAnyJobCount'
+    ./build-tsan/tests/harness_test --gtest_filter='RunPoolTest.*:StatsRaceTest.*:ExperimentTest.RepeatAndBestOverPpnIdenticalAtAnyJobCount:ExperimentTest.MetricsSnapshotIdenticalAtAnyJobCount'
   TSAN_OPTIONS=halt_on_error=1 NWS_CHAOS_COUNT=24 NWS_JOBS=0 \
     ./build-tsan/tests/chaos_test
+  TSAN_OPTIONS=halt_on_error=1 check_artifacts build-tsan
 fi
 
 echo "==> all checks passed"

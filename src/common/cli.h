@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nws {
@@ -34,6 +35,15 @@ class Cli {
   [[nodiscard]] std::vector<std::int64_t> get_int_list(const std::string& name) const;
 
   void print_usage(const std::string& program) const;
+
+  /// Every registered flag with its effective (post-parse) value, in name
+  /// order — the config section of a machine-readable run report.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> entries() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(flags_.size());
+    for (const auto& [name, flag] : flags_) out.emplace_back(name, flag.value);
+    return out;
+  }
 
  private:
   struct Flag {

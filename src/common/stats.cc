@@ -14,23 +14,29 @@ void Summary::add(double v) {
   sorted_valid_ = false;
 }
 
-const std::vector<double>& Summary::sorted() const {
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
-  }
-  return sorted_;
+void Summary::seal() {
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+const std::vector<double>& Summary::sorted_view(std::vector<double>& scratch) const {
+  if (sorted_valid_) return sorted_;
+  scratch = samples_;
+  std::sort(scratch.begin(), scratch.end());
+  return scratch;
 }
 
 double Summary::min() const {
   if (empty()) throw std::logic_error("Summary::min on empty sample set");
-  return sorted().front();
+  if (sorted_valid_) return sorted_.front();
+  return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Summary::max() const {
   if (empty()) throw std::logic_error("Summary::max on empty sample set");
-  return sorted().back();
+  if (sorted_valid_) return sorted_.back();
+  return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Summary::sum() const { return std::accumulate(samples_.begin(), samples_.end(), 0.0); }
@@ -50,9 +56,10 @@ double Summary::stddev() const {
 
 double Summary::percentile(double p) const {
   if (empty()) throw std::logic_error("Summary::percentile on empty sample set");
-  if (p <= 0.0) return sorted().front();
-  if (p >= 100.0) return sorted().back();
-  const auto& s = sorted();
+  std::vector<double> scratch;
+  const auto& s = sorted_view(scratch);
+  if (p <= 0.0) return s.front();
+  if (p >= 100.0) return s.back();
   const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);

@@ -3,6 +3,13 @@
 // The paper reports per-configuration maxima (Table 1: "the maximum
 // synchronous bandwidth obtained among the 36 repetitions") and means
 // (Fig. 3: "the mean synchronous bandwidth obtained across all repetitions").
+//
+// Thread safety: every const accessor is safe to call concurrently.  The
+// sorted-order cache is only ever written by the non-const seal() (or add(),
+// which invalidates it); a const reader that finds the cache stale sorts a
+// local copy instead of mutating shared state.  Folding code that builds a
+// Summary once and then shares it across run_pool workers should seal() it
+// after the last add() so readers hit the cached path.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,11 @@ class Summary {
   explicit Summary(std::vector<double> samples);
 
   void add(double v);
+
+  /// Builds the sorted-order cache eagerly.  Call after the last add() and
+  /// before sharing this Summary across threads: const accessors then read
+  /// the cache instead of each sorting a private copy.
+  void seal();
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
@@ -33,10 +45,12 @@ class Summary {
 
  private:
   std::vector<double> samples_;
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  std::vector<double> sorted_;
+  bool sorted_valid_ = false;
 
-  const std::vector<double>& sorted() const;
+  /// Returns the cache when valid, else a freshly sorted copy in `scratch`
+  /// (no mutation under const — concurrent readers stay race-free).
+  const std::vector<double>& sorted_view(std::vector<double>& scratch) const;
 };
 
 }  // namespace nws

@@ -7,7 +7,10 @@
 namespace nws::daos {
 
 Client::Client(Cluster& cluster, net::Endpoint endpoint, std::uint64_t salt)
-    : cluster_(cluster), endpoint_(endpoint), rng_(cluster.fork_rng(salt)) {}
+    : cluster_(cluster),
+      endpoint_(endpoint),
+      rng_(cluster.fork_rng(salt)),
+      actor_{static_cast<std::uint32_t>(endpoint.node), static_cast<std::uint32_t>(endpoint.socket)} {}
 
 sim::Task<void> Client::rpc(std::size_t target_index, sim::Duration overhead) {
   const Target& t = cluster_.target(target_index);
@@ -35,18 +38,21 @@ sim::Task<Status> Client::fault_check(std::size_t target_index) {
 }
 
 sim::Task<PoolHandle> Client::pool_connect() {
+  obs::Span span("pool_connect", "daos", actor_, trace_iteration_);
   // Pool metadata lives with target 0's engine.
   co_await rpc(0, cluster_.model().pool_connect_overhead);
   co_return PoolHandle{true};
 }
 
 sim::Task<Status> Client::cont_create(const Uuid& uuid) {
+  obs::Span span("cont_create", "daos", actor_, trace_iteration_);
   co_await rpc(0, cluster_.model().cont_create_overhead);
   if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
   co_return cluster_.create_container(uuid);
 }
 
 sim::Task<Result<ContHandle>> Client::cont_open(const Uuid& uuid) {
+  obs::Span span("cont_open", "daos", actor_, trace_iteration_);
   co_await rpc(0, cluster_.model().cont_open_overhead);
   if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
   auto result = cluster_.open_container(uuid);
@@ -65,6 +71,7 @@ sim::Task<ContHandle> Client::main_cont_open() {
 }
 
 sim::Task<KvHandle> Client::kv_open(ContHandle cont, const ObjectId& oid) {
+  obs::Span span("kv_open", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("kv_open on closed container handle");
   // Object open is a client-local handle operation in DAOS.
   co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
@@ -72,6 +79,7 @@ sim::Task<KvHandle> Client::kv_open(ContHandle cont, const ObjectId& oid) {
 }
 
 sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::string value) {
+  obs::Span span("kv_put", "daos", actor_, trace_iteration_, static_cast<double>(value.size()));
   if (!handle.valid()) throw std::logic_error("kv_put on closed handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
@@ -108,6 +116,7 @@ sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::
 }
 
 sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::string& key) {
+  obs::Span span("kv_get", "daos", actor_, trace_iteration_);
   if (!handle.valid()) throw std::logic_error("kv_get on closed handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
@@ -141,6 +150,7 @@ sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::strin
 }
 
 sim::Task<Status> Client::kv_remove(KvHandle& handle, const std::string& key) {
+  obs::Span span("kv_remove", "daos", actor_, trace_iteration_);
   if (!handle.valid()) throw std::logic_error("kv_remove on closed handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
@@ -165,12 +175,14 @@ sim::Task<std::vector<std::string>> Client::kv_list(KvHandle& handle) {
 }
 
 sim::Task<void> Client::kv_close(KvHandle& handle) {
+  obs::Span span("kv_close", "daos", actor_, trace_iteration_);
   handle.kv = nullptr;
   co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
 }
 
 sim::Task<Result<ArrayHandle>> Client::array_create(ContHandle cont, const ObjectId& oid, Bytes cell_size,
                                                     Bytes chunk_size) {
+  obs::Span span("array_create", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("array_create on closed container handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
@@ -183,6 +195,7 @@ sim::Task<Result<ArrayHandle>> Client::array_create(ContHandle cont, const Objec
 }
 
 sim::Task<Result<ArrayHandle>> Client::array_open(ContHandle cont, const ObjectId& oid) {
+  obs::Span span("array_open", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("array_open on closed container handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
@@ -275,6 +288,7 @@ sim::Task<void> Client::container_indirection(Container* container, std::size_t 
 
 sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const std::uint8_t* data,
                                       Bytes len) {
+  obs::Span span("array_write", "daos", actor_, trace_iteration_, static_cast<double>(len));
   if (!handle.valid()) throw std::logic_error("array_write on closed handle");
   if (len == 0) co_return Status::ok();
   const ModelConfig& m = cluster_.model();
@@ -315,6 +329,7 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
 
 sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, std::uint8_t* out,
                                             Bytes len) {
+  obs::Span span("array_read", "daos", actor_, trace_iteration_, static_cast<double>(len));
   if (!handle.valid()) throw std::logic_error("array_read on closed handle");
   if (len == 0) co_return Bytes{0};
   const ModelConfig& m = cluster_.model();
@@ -353,6 +368,7 @@ sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, s
 }
 
 sim::Task<Status> Client::array_destroy(ContHandle cont, const ObjectId& oid) {
+  obs::Span span("array_destroy", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("array_destroy on closed container handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
@@ -373,6 +389,7 @@ sim::Task<Bytes> Client::array_get_size(ArrayHandle& handle) {
 }
 
 sim::Task<void> Client::array_close(ArrayHandle& handle) {
+  obs::Span span("array_close", "daos", actor_, trace_iteration_);
   handle.array = nullptr;
   co_await cluster_.scheduler().delay(cluster_.model().array_close_overhead);
 }

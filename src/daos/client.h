@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "daos/cluster.h"
+#include "obs/trace.h"
 #include "sim/task.h"
 
 namespace nws::daos {
@@ -63,6 +64,21 @@ struct ClientStats {
   std::uint64_t op_retries = 0;
 };
 
+/// Accumulates one process's counters into a run-wide total (harness
+/// aggregation; feeds the run's metrics snapshot).
+inline ClientStats& operator+=(ClientStats& a, const ClientStats& b) {
+  a.kv_puts += b.kv_puts;
+  a.kv_gets += b.kv_gets;
+  a.array_writes += b.array_writes;
+  a.array_reads += b.array_reads;
+  a.bytes_written += b.bytes_written;
+  a.bytes_read += b.bytes_read;
+  a.rpc_timeouts += b.rpc_timeouts;
+  a.transient_errors += b.transient_errors;
+  a.op_retries += b.op_retries;
+  return a;
+}
+
 class Client {
  public:
   /// `salt` individualises the jitter stream (use the global process rank).
@@ -75,6 +91,16 @@ class Client {
   /// Records one retry attempt driven by a caller's retry policy (e.g.
   /// fdb::FieldIo backoff) against this client's stats.
   void note_retry() { ++stats_.op_retries; }
+
+  /// Trace attribution for this client's spans.  Defaults to the endpoint's
+  /// node/socket; the harness overrides it with the precise global rank
+  /// (several ranks share a socket).  Coroutine frames interleave on one OS
+  /// thread, so attribution must ride on the Client, not on a thread-local.
+  void set_trace_actor(obs::Actor actor) { actor_ = actor; }
+  [[nodiscard]] obs::Actor trace_actor() const { return actor_; }
+
+  /// Tags subsequent op spans with the workload iteration (op index).
+  void set_trace_iteration(std::uint32_t iteration) { trace_iteration_ = iteration; }
 
   // --- pool / container -------------------------------------------------------
   sim::Task<PoolHandle> pool_connect();
@@ -135,6 +161,8 @@ class Client {
   net::Endpoint endpoint_;
   Rng rng_;
   ClientStats stats_;
+  obs::Actor actor_;
+  std::uint32_t trace_iteration_ = 0;
 };
 
 }  // namespace nws::daos

@@ -104,11 +104,14 @@ class SimChecker {
            std::to_string(log.global_timing_bandwidth()));
     }
 
-    // Eq. 1: mean of per-iteration bandwidths.
+    // Eq. 1: mean of per-iteration bandwidths.  Zero-duration iterations are
+    // skipped exactly like IoLog::synchronous_bandwidth does (instantaneous
+    // iterations have no defined bandwidth), keeping the bit-exact compare.
     double sum = 0.0;
     std::size_t counted = 0;
     for (const Iter& it : iters) {
       if (it.bytes == 0.0) continue;
+      if (it.max_end <= it.min_start) continue;
       sum += it.bytes / sim::to_seconds(it.max_end - it.min_start);
       ++counted;
     }

@@ -60,6 +60,7 @@ FieldIo::FieldIo(daos::Client& client, FieldIoConfig config, std::uint32_t rank)
       rng_(mix64(client.cluster().config().seed ^ (0xf1e1d100ull + rank))) {}
 
 sim::Task<void> FieldIo::retry_backoff(std::size_t attempt) {
+  obs::Span span("retry_backoff", "retry", client_.trace_actor());
   const RetryPolicy& p = config_.retry;
   double backoff = static_cast<double>(p.initial_backoff);
   for (std::size_t i = 0; i < attempt; ++i) backoff *= p.multiplier;

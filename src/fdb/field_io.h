@@ -82,6 +82,17 @@ struct FieldIoStats {
   std::uint64_t retries = 0;
 };
 
+/// Accumulates one process's counters into a run-wide total (harness
+/// aggregation; feeds the run's metrics snapshot).
+inline FieldIoStats& operator+=(FieldIoStats& a, const FieldIoStats& b) {
+  a.fields_written += b.fields_written;
+  a.fields_read += b.fields_read;
+  a.bytes_written += b.bytes_written;
+  a.bytes_read += b.bytes_read;
+  a.retries += b.retries;
+  return a;
+}
+
 /// Per-process field reader/writer.  Pool and container connections are
 /// cached, as in the paper's benchmark ("Pool and container connections in a
 /// process are cached", Section 5.2).

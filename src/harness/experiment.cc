@@ -1,11 +1,14 @@
 #include "harness/experiment.h"
 
+#include "obs/trace.h"
+
 namespace nws::bench {
 
 namespace {
 
 /// Serial fold of per-repetition outcomes, in repetition order (the exact
-/// accumulation order of the historical serial loop).
+/// accumulation order of the historical serial loop).  Seals the summaries
+/// and folded metrics so later const readers share them race-free.
 RepetitionSummary summarise(const std::vector<RunOutcome>& outcomes) {
   RepetitionSummary summary;
   for (const RunOutcome& outcome : outcomes) {
@@ -16,7 +19,11 @@ RepetitionSummary summarise(const std::vector<RunOutcome>& outcomes) {
     }
     summary.write.add(outcome.write_bw);
     summary.read.add(outcome.read_bw);
+    summary.metrics.fold(outcome.metrics);
   }
+  summary.write.seal();
+  summary.read.seal();
+  summary.metrics.seal();
   return summary;
 }
 
@@ -33,9 +40,49 @@ RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
       reps, jobs, [&](std::size_t r) { return run(repetition_seed(base_seed, r)); }));
 }
 
+obs::MetricsSnapshot snapshot_run_metrics(const sim::Scheduler& sched, const net::FlowStats& flows,
+                                          const IoLog& write_log, const IoLog& read_log,
+                                          const daos::ClientStats& client,
+                                          const fdb::FieldIoStats* field) {
+  obs::MetricsSnapshot m;
+  m.counter("sim.events_executed", static_cast<double>(sched.events_executed()));
+  m.counter("net.flows_started", static_cast<double>(flows.flows_started));
+  m.counter("net.flows_completed", static_cast<double>(flows.flows_completed));
+  m.counter("net.bytes_delivered", flows.bytes_delivered);
+  m.gauge("net.peak_concurrent_flows", static_cast<double>(flows.peak_concurrent));
+  m.counter("net.rate_recomputations", static_cast<double>(flows.rate_recomputations));
+  m.counter("daos.kv_puts", static_cast<double>(client.kv_puts));
+  m.counter("daos.kv_gets", static_cast<double>(client.kv_gets));
+  m.counter("daos.array_writes", static_cast<double>(client.array_writes));
+  m.counter("daos.array_reads", static_cast<double>(client.array_reads));
+  m.counter("daos.bytes_written", static_cast<double>(client.bytes_written));
+  m.counter("daos.bytes_read", static_cast<double>(client.bytes_read));
+  m.counter("daos.rpc_timeouts", static_cast<double>(client.rpc_timeouts));
+  m.counter("daos.transient_errors", static_cast<double>(client.transient_errors));
+  m.counter("daos.op_retries", static_cast<double>(client.op_retries));
+  const auto log_metrics = [&m](const char* side, const IoLog& log) {
+    const std::string prefix = std::string("io.") + side;
+    m.counter(prefix + ".operations", static_cast<double>(log.operations()));
+    m.counter(prefix + ".bytes", static_cast<double>(log.total_bytes()));
+    m.counter(prefix + ".retries", static_cast<double>(log.total_retries()));
+    if (!log.empty()) m.histogram(prefix + ".latency_seconds", log.op_latencies());
+  };
+  log_metrics("write", write_log);
+  log_metrics("read", read_log);
+  if (field != nullptr) {
+    m.counter("fdb.fields_written", static_cast<double>(field->fields_written));
+    m.counter("fdb.fields_read", static_cast<double>(field->fields_read));
+    m.counter("fdb.bytes_written", static_cast<double>(field->bytes_written));
+    m.counter("fdb.bytes_read", static_cast<double>(field->bytes_read));
+    m.counter("fdb.retries", static_cast<double>(field->retries));
+  }
+  return m;
+}
+
 RunOutcome run_ior_once(daos::ClusterConfig cfg, const ior::IorParams& params, std::uint64_t seed) {
   cfg.seed = seed;
   sim::Scheduler sched;
+  const obs::ScopedClock trace_clock(sched);  // spans (if tracing) read this run's clock
   daos::Cluster cluster(sched, cfg);
   const ior::IorResult result = ior::run_ior(cluster, params);
   RunOutcome outcome;
@@ -44,6 +91,8 @@ RunOutcome run_ior_once(daos::ClusterConfig cfg, const ior::IorParams& params, s
   if (!result.failed) {
     outcome.write_bw = to_gib_per_sec(result.write_log.synchronous_bandwidth());
     outcome.read_bw = to_gib_per_sec(result.read_log.synchronous_bandwidth());
+    outcome.metrics = snapshot_run_metrics(sched, cluster.flows().stats(), result.write_log,
+                                           result.read_log, result.client_stats);
   }
   return outcome;
 }
@@ -52,6 +101,7 @@ RunOutcome run_field_once(daos::ClusterConfig cfg, const FieldBenchParams& param
                           std::uint64_t seed) {
   cfg.seed = seed;
   sim::Scheduler sched;
+  const obs::ScopedClock trace_clock(sched);
   daos::Cluster cluster(sched, cfg);
   const FieldBenchResult result = pattern == 'B' ? run_field_pattern_b(cluster, params)
                                                  : run_field_pattern_a(cluster, params);
@@ -63,6 +113,9 @@ RunOutcome run_field_once(daos::ClusterConfig cfg, const FieldBenchParams& param
         result.write_log.empty() ? 0.0 : to_gib_per_sec(result.write_log.global_timing_bandwidth());
     outcome.read_bw =
         result.read_log.empty() ? 0.0 : to_gib_per_sec(result.read_log.global_timing_bandwidth());
+    outcome.metrics =
+        snapshot_run_metrics(sched, cluster.flows().stats(), result.write_log, result.read_log,
+                             result.client_stats, &result.field_stats);
   }
   return outcome;
 }

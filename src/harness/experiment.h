@@ -18,6 +18,7 @@
 #include "harness/field_bench.h"
 #include "harness/run_pool.h"
 #include "ior/ior.h"
+#include "obs/metrics.h"
 
 namespace nws::bench {
 
@@ -25,6 +26,9 @@ namespace nws::bench {
 struct RunOutcome {
   double write_bw = 0.0;
   double read_bw = 0.0;
+  /// Named counters/gauges/histograms of the run (simulator, network, DAOS
+  /// client and field-I/O layers; names in docs/OBSERVABILITY.md).
+  obs::MetricsSnapshot metrics;
   bool failed = false;
   std::string failure;
 };
@@ -33,6 +37,9 @@ struct RunOutcome {
 struct RepetitionSummary {
   Summary write;       // GiB/s per repetition
   Summary read;        // GiB/s per repetition
+  /// Per-repetition snapshots folded in repetition order (counters add,
+  /// gauges max, histograms append) — bit-identical at any job count.
+  obs::MetricsSnapshot metrics;
   bool any_failed = false;
   std::string failure;
 
@@ -40,6 +47,14 @@ struct RepetitionSummary {
     return (write.empty() ? 0.0 : write.mean()) + (read.empty() ? 0.0 : read.mean());
   }
 };
+
+/// Builds one run's metrics snapshot from the simulator, network and
+/// workload counters.  `field` is null for workloads without a field-I/O
+/// layer (IOR).
+obs::MetricsSnapshot snapshot_run_metrics(const sim::Scheduler& sched, const net::FlowStats& flows,
+                                          const IoLog& write_log, const IoLog& read_log,
+                                          const daos::ClientStats& client,
+                                          const fdb::FieldIoStats* field = nullptr);
 
 /// Runs `reps` repetitions of `run` (a callable taking the repetition seed
 /// and returning a RunOutcome) and summarises.

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "sim/sync.h"
 
 namespace nws::bench {
@@ -20,6 +21,8 @@ struct Shared {
   sim::CountDownLatch writers_done;
   sim::CountDownLatch readers_done;
   sim::Gate read_gate;
+  fdb::FieldIoStats field_stats;    // summed over processes as they finish
+  daos::ClientStats client_stats;
   bool failed = false;
   std::string failure;
 
@@ -28,6 +31,19 @@ struct Shared {
       failed = true;
       failure = why;
     }
+  }
+};
+
+/// Flushes one process's layer counters into the run totals when its
+/// coroutine frame winds down — every exit path included (early co_return
+/// on a peer's failure, init exceptions after the client exists).
+struct StatsFlush {
+  Shared& shared;
+  fdb::FieldIo& io;
+  daos::Client& client;
+  ~StatsFlush() {
+    shared.field_stats += io.stats();
+    shared.client_stats += client.stats();
   }
 };
 
@@ -93,6 +109,9 @@ sim::Task<void> pattern_a_writer(daos::Cluster& cluster, const FieldBenchParams 
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x10000u + global_rank);
   fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
   fdb::FieldIo io(client, cfg, global_rank);
+  const obs::Actor actor{node, global_rank};
+  client.set_trace_actor(actor);
+  StatsFlush flush{shared, io, client};
   co_await cluster.scheduler().delay(startup_skew(cluster, global_rank));
   (co_await io.init()).expect_ok("FieldIo::init");
 
@@ -104,6 +123,8 @@ sim::Task<void> pattern_a_writer(daos::Cluster& cluster, const FieldBenchParams 
       payload = make_field_payload(key.canonical(), params.field_size);
       data = payload.data();
     }
+    client.set_trace_iteration(op);
+    obs::Span io_span("io", "io", actor, op, static_cast<double>(params.field_size));
     const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
     const Status st = co_await io.write(key, data, params.field_size);
@@ -123,6 +144,9 @@ sim::Task<void> pattern_a_reader(daos::Cluster& cluster, const FieldBenchParams 
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x20000u + global_rank);
   fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
   fdb::FieldIo io(client, cfg, 0x8000u + global_rank);
+  const obs::Actor actor{node, global_rank};
+  client.set_trace_actor(actor);
+  StatsFlush flush{shared, io, client};
   // Second phase begins only "once all writer processes on all nodes have
   // terminated".
   co_await shared.read_gate.wait();
@@ -133,6 +157,8 @@ sim::Task<void> pattern_a_reader(daos::Cluster& cluster, const FieldBenchParams 
   if (params.verify_payload) buf.resize(static_cast<std::size_t>(params.field_size));
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
     const fdb::FieldKey key = bench_field_key(params, global_rank, op, /*designated=*/false);
+    client.set_trace_iteration(op);
+    obs::Span io_span("io", "io", actor, op, static_cast<double>(params.field_size));
     const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
     auto n = co_await io.read(key, params.verify_payload ? buf.data() : nullptr, params.field_size);
@@ -177,6 +203,8 @@ FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchPar
   cluster.scheduler().spawn(pattern_a_conductor(shared));
   cluster.scheduler().run();
 
+  result.field_stats = shared.field_stats;
+  result.client_stats = shared.client_stats;
   result.failed = shared.failed;
   result.failure = shared.failure;
   return result;
@@ -190,6 +218,9 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x30000u + global_rank);
   fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
   fdb::FieldIo io(client, cfg, global_rank);
+  const obs::Actor actor{node, global_rank};
+  client.set_trace_actor(actor);
+  StatsFlush flush{shared, io, client};
   co_await cluster.scheduler().delay(startup_skew(cluster, 0xa000u + global_rank));
   (co_await io.init()).expect_ok("FieldIo::init");
 
@@ -214,6 +245,8 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
   if (shared.failed) co_return;
 
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    client.set_trace_iteration(op);
+    obs::Span io_span("io", "io", actor, op, static_cast<double>(params.field_size));
     const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
     const Status st = co_await io.write(key, data, params.field_size);
@@ -232,6 +265,9 @@ sim::Task<void> pattern_b_reader(daos::Cluster& cluster, const FieldBenchParams 
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x40000u + reader_index);
   fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
   fdb::FieldIo io(client, cfg, 0xC000u + reader_index);
+  const obs::Actor actor{node, reader_index};
+  client.set_trace_actor(actor);
+  StatsFlush flush{shared, io, client};
   co_await shared.read_gate.wait();
   if (shared.failed) co_return;
   co_await cluster.scheduler().delay(startup_skew(cluster, 0xb000u + reader_index));
@@ -243,6 +279,8 @@ sim::Task<void> pattern_b_reader(daos::Cluster& cluster, const FieldBenchParams 
   if (params.verify_payload) buf.resize(static_cast<std::size_t>(params.field_size));
 
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+    client.set_trace_iteration(op);
+    obs::Span io_span("io", "io", actor, op, static_cast<double>(params.field_size));
     const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
     auto n = co_await io.read(key, params.verify_payload ? buf.data() : nullptr, params.field_size);
@@ -306,6 +344,8 @@ FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchPar
   cluster.scheduler().spawn(pattern_b_conductor(shared));
   cluster.scheduler().run();
 
+  result.field_stats = shared.field_stats;
+  result.client_stats = shared.client_stats;
   result.failed = shared.failed;
   result.failure = shared.failure;
   return result;

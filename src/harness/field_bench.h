@@ -53,6 +53,9 @@ struct FieldBenchParams {
 struct FieldBenchResult {
   IoLog write_log;
   IoLog read_log;
+  /// Layer counters summed over every process of the run.
+  fdb::FieldIoStats field_stats;
+  daos::ClientStats client_stats;
   bool failed = false;
   std::string failure;
 

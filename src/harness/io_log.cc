@@ -49,10 +49,14 @@ double IoLog::synchronous_bandwidth() const {
   for (const IterationAgg& agg : iterations_) {
     if (agg.bytes == 0) continue;
     const double wall = sim::to_seconds(agg.max_end - agg.min_start);
-    if (wall <= 0.0) throw std::logic_error("zero-duration iteration in synchronous_bandwidth");
+    // A zero-duration iteration is legitimate (all ops served from cache /
+    // zero-latency fast paths): its bandwidth is undefined, not an error, so
+    // it is skipped exactly like a zero-byte iteration.
+    if (wall <= 0.0) continue;
     sum += static_cast<double>(agg.bytes) / wall;
     ++counted;
   }
+  if (counted == 0) return 0.0;
   return sum / static_cast<double>(counted);
 }
 

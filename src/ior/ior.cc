@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "daos/client.h"
+#include "obs/trace.h"
 #include "sim/sync.h"
 
 namespace nws::ior {
@@ -16,6 +17,7 @@ struct RunState {
   sim::Barrier pre_io;
   sim::Barrier post_io;
   sim::Barrier finish;
+  daos::ClientStats client_stats;  // summed over processes as they finish
   bool failed = false;
   std::string failure;
 };
@@ -30,6 +32,11 @@ sim::Task<void> ior_process(daos::Cluster& cluster, const IorParams params, RunS
                             bench::IoLog& log, std::uint32_t node, std::uint32_t proc, bool is_write) {
   daos::Client client(cluster, cluster.client_endpoint(node, proc),
                       (static_cast<std::uint64_t>(is_write) << 32) | (node << 16) | proc);
+  // Trace attribution: pid = client node, tid = global rank (matching the
+  // node/proc identifiers IoLog records, paper Section 5.5).
+  const auto rank = static_cast<std::uint32_t>(node * params.processes_per_node + proc);
+  const obs::Actor actor{node, rank};
+  client.set_trace_actor(actor);
   daos::ContHandle cont = co_await client.main_cont_open();
 
   // a) initial barrier.
@@ -46,6 +53,13 @@ sim::Task<void> ior_process(daos::Cluster& cluster, const IorParams params, RunS
     // b) pre-I/O barrier: all processes start the I/O phase together.
     co_await state.pre_io.arrive_and_wait();
     const sim::TimePoint io_start = cluster.scheduler().now();
+    // The "io" span covers steps c-e only (manual begin/end: the loop body's
+    // scope would also include the post-I/O barriers).
+    client.set_trace_iteration(iter);
+    obs::TraceRecorder::Token io_span = 0;
+    if (obs::TraceRecorder* tr = obs::current_trace()) {
+      io_span = tr->begin("io", "io", actor, iter, static_cast<double>(params.object_size()));
+    }
 
     // A failed run keeps every process flowing through the barriers so the
     // collective does not deadlock (as MPI-based IOR would abort together).
@@ -109,6 +123,7 @@ sim::Task<void> ior_process(daos::Cluster& cluster, const IorParams params, RunS
       if (handle.valid()) co_await client.array_close(handle);
     }
     const sim::TimePoint io_end = cluster.scheduler().now();
+    if (obs::TraceRecorder* tr = obs::current_trace()) tr->end(io_span);
 
     // f) post-I/O barrier, g) logging.
     co_await state.post_io.arrive_and_wait();
@@ -116,10 +131,11 @@ sim::Task<void> ior_process(daos::Cluster& cluster, const IorParams params, RunS
     // h) final barrier.
     co_await state.finish.arrive_and_wait();
   }
+  state.client_stats += client.stats();
 }
 
 void run_phase(daos::Cluster& cluster, const IorParams& params, bench::IoLog& log, bool is_write,
-               bool& failed, std::string& failure) {
+               daos::ClientStats& client_stats, bool& failed, std::string& failure) {
   const std::size_t nodes = cluster.config().client_nodes;
   const std::size_t procs = nodes * params.processes_per_node;
   RunState state(cluster.scheduler(), procs);
@@ -129,6 +145,7 @@ void run_phase(daos::Cluster& cluster, const IorParams& params, bench::IoLog& lo
     }
   }
   cluster.scheduler().run();
+  client_stats += state.client_stats;
   if (state.failed) {
     failed = true;
     failure = state.failure;
@@ -141,9 +158,11 @@ IorResult run_ior(daos::Cluster& cluster, const IorParams& params) {
   IorResult result;
   // Access pattern A: write phase, full join (the scheduler run drains), then
   // an equivalent process set performs the read phase.
-  run_phase(cluster, params, result.write_log, /*is_write=*/true, result.failed, result.failure);
+  run_phase(cluster, params, result.write_log, /*is_write=*/true, result.client_stats, result.failed,
+            result.failure);
   if (!result.failed) {
-    run_phase(cluster, params, result.read_log, /*is_write=*/false, result.failed, result.failure);
+    run_phase(cluster, params, result.read_log, /*is_write=*/false, result.client_stats, result.failed,
+              result.failure);
   }
   return result;
 }

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "daos/client.h"
 #include "daos/cluster.h"
 #include "harness/io_log.h"
 
@@ -51,6 +52,8 @@ struct IorParams {
 struct IorResult {
   bench::IoLog write_log;
   bench::IoLog read_log;
+  /// DAOS client counters summed over every process of both phases.
+  daos::ClientStats client_stats;
   bool failed = false;
   std::string failure;
 };

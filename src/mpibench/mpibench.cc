@@ -4,6 +4,7 @@
 
 #include "net/flow.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 
@@ -28,6 +29,7 @@ sim::Task<void> pair_stream(sim::Scheduler& sched, net::FlowScheduler& flows, co
 
 P2pResult run_p2p(const P2pParams& params) {
   sim::Scheduler sched;
+  const obs::ScopedClock trace_clock(sched);  // flow spans (if tracing) use this run's clock
   net::FlowScheduler flows(sched);
   net::TopologyConfig tcfg;
   tcfg.nodes = 2;

@@ -37,6 +37,12 @@ void FlowScheduler::start_flow(std::vector<LinkId> path, double bytes, double ra
   flow.waiter = h;
   flows_.push_back(std::move(flow));
   for (const LinkId id : flows_.back().path) ++link_flow_count_[id];
+  if (obs::TraceRecorder* tr = obs::current_trace()) {
+    // Flow lifetimes render on a synthetic "network" process; a rotating
+    // lane keeps concurrent flows on separate rows in the viewer.
+    flows_.back().span =
+        tr->begin("flow", "net", obs::Actor{obs::kNetworkNode, trace_lane_++ % 32}, 0, bytes);
+  }
   ++stats_.flows_started;
   stats_.peak_concurrent = std::max(stats_.peak_concurrent, flows_.size());
   settle(flows_.size() - 1);
@@ -220,6 +226,9 @@ void FlowScheduler::settle(std::size_t added_idx) {
         if (--link_flow_count_[id] > 0) shared_departure = true;
       }
       const auto waiter = flows_[i].waiter;
+      if (flows_[i].span != 0) {
+        if (obs::TraceRecorder* tr = obs::current_trace()) tr->end(flows_[i].span);
+      }
       stats_.bytes_delivered += flows_[i].total;
       ++stats_.flows_completed;
       if (i == added_idx) {

@@ -24,6 +24,7 @@
 
 #include "common/units.h"
 #include "net/link.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace nws::net {
@@ -66,7 +67,15 @@ class FlowScheduler {
       std::vector<LinkId> path;
       double bytes;
       double rate_cap;
-      bool await_ready() const { return bytes <= 0.0 || path.empty(); }
+      bool await_ready() const {
+        if (bytes > 0.0 && !path.empty()) return false;
+        // Instant completion (zero bytes, or a path-less local move): still a
+        // transfer the workload performed, so it must reach FlowStats —
+        // skipping it undercounted flows_started/bytes_delivered for exactly
+        // the degenerate ops the metrics registry reports.
+        fs.note_instant_transfer(bytes);
+        return true;
+      }
       void await_suspend(std::coroutine_handle<> h) { fs.start_flow(std::move(path), bytes, rate_cap, h); }
       void await_resume() const noexcept {}
     };
@@ -107,9 +116,18 @@ class FlowScheduler {
     double rate = 0.0;       // bytes/s
     double cap = 0.0;        // bytes/s
     std::coroutine_handle<> waiter;
+    obs::TraceRecorder::Token span = 0;  // lifetime span (0 = tracing off)
   };
 
   static constexpr std::size_t kNoFlow = static_cast<std::size_t>(-1);
+
+  /// Accounts a transfer that completed in await_ready (zero bytes or an
+  /// empty path): it never becomes an active Flow but did start and finish.
+  void note_instant_transfer(double bytes) {
+    ++stats_.flows_started;
+    ++stats_.flows_completed;
+    if (bytes > 0.0) stats_.bytes_delivered += bytes;
+  }
 
   void start_flow(std::vector<LinkId> path, double bytes, double rate_cap, std::coroutine_handle<> h);
   /// Applies progress for the elapsed interval since the last update.
@@ -151,6 +169,7 @@ class FlowScheduler {
   std::size_t lazy_interval_ = 12;
   std::size_t changes_since_full_ = 0;
   double fair_share_floor_ = 0.0;  // min positive rate at the last full solve
+  std::uint32_t trace_lane_ = 0;   // rotating tid for flow spans (readability)
   // Set once capacity modulation is in use: flows stalled at rate 0 during an
   // outage window are then legal (a restore event will recompute), instead of
   // the all-flows-stalled state being diagnosed as a model error.

@@ -1,0 +1,88 @@
+// Minimal JSON support for the observability layer.
+//
+// JsonWriter is a streaming writer (comma/nesting bookkeeping, escaping,
+// round-trippable number formatting) used by the trace and report exporters.
+// JsonValue/parse_json is a small recursive-descent DOM parser used by the
+// schema round-trip tests and the obs_lint artifact validator; it is NOT a
+// general-purpose parser (no \uXXXX surrogate pairs beyond the BMP, no
+// detection of duplicate keys) but accepts everything the writer emits.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nws::obs {
+
+/// Returns `s` with JSON string escaping applied (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Writes an object key; must be followed by exactly one value/begin_*.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+  void value_null();
+
+  /// key() + value() in one call, for scalar members.
+  template <typename T>
+  void member(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma();  // emits the separating comma if needed
+
+  std::ostream& os_;
+  std::vector<char> stack_;        // nesting: '{' or '['
+  std::vector<char> need_comma_;   // parallel to stack_
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node.  Object member order is preserved.
+struct JsonValue {
+  enum class Type : std::uint8_t { null, boolean, number, string, array, object };
+
+  Type type = Type::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::null; }
+  [[nodiscard]] bool is_object() const { return type == Type::object; }
+  [[nodiscard]] bool is_array() const { return type == Type::array; }
+  [[nodiscard]] bool is_string() const { return type == Type::string; }
+  [[nodiscard]] bool is_number() const { return type == Type::number; }
+
+  /// First member named `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace nws::obs

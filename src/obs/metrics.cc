@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace nws::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+    case MetricKind::histogram: return "histogram";
+  }
+  return "?";
+}
+
+Metric& MetricsSnapshot::slot(const std::string& name, MetricKind kind) {
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name + "' is a " + metric_kind_name(it->second.kind) +
+                           ", not a " + metric_kind_name(kind));
+  }
+  return it->second;
+}
+
+void MetricsSnapshot::counter(const std::string& name, double v) {
+  slot(name, MetricKind::counter).value += v;
+}
+
+void MetricsSnapshot::gauge(const std::string& name, double v) {
+  Metric& m = slot(name, MetricKind::gauge);
+  if (m.value < v) m.value = v;
+}
+
+void MetricsSnapshot::histogram(const std::string& name, double sample) {
+  slot(name, MetricKind::histogram).samples.add(sample);
+}
+
+void MetricsSnapshot::histogram(const std::string& name, const Summary& s) {
+  Metric& m = slot(name, MetricKind::histogram);
+  for (const double v : s.samples()) m.samples.add(v);
+}
+
+void MetricsSnapshot::fold(const MetricsSnapshot& other) {
+  for (const auto& [name, m] : other.metrics_) {
+    switch (m.kind) {
+      case MetricKind::counter: counter(name, m.value); break;
+      case MetricKind::gauge: gauge(name, m.value); break;
+      case MetricKind::histogram: histogram(name, m.samples); break;
+    }
+  }
+}
+
+void MetricsSnapshot::seal() {
+  for (auto& [name, m] : metrics_) {
+    if (m.kind == MetricKind::histogram) m.samples.seal();
+  }
+}
+
+double MetricsSnapshot::value(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) throw std::out_of_range("no metric '" + name + "'");
+  if (it->second.kind == MetricKind::histogram) {
+    throw std::logic_error("metric '" + name + "' is a histogram, not a scalar");
+  }
+  return it->second.value;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [name, m] : metrics_) {
+    w.key(name);
+    w.begin_object();
+    w.member("kind", metric_kind_name(m.kind));
+    if (m.kind == MetricKind::histogram) {
+      const Summary& s = m.samples;
+      w.member("count", static_cast<std::uint64_t>(s.count()));
+      if (!s.empty()) {
+        w.member("min", s.min());
+        w.member("max", s.max());
+        w.member("mean", s.mean());
+        w.member("p50", s.percentile(50.0));
+        w.member("p95", s.percentile(95.0));
+        w.member("p99", s.percentile(99.0));
+      }
+    } else {
+      w.member("value", m.value);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace nws::obs

@@ -1,0 +1,61 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace nws::obs {
+
+void RunReport::add_table(const std::string& title, const Table& table) {
+  TableCopy copy;
+  copy.title = title;
+  copy.headers = table.headers();
+  copy.rows.reserve(table.rows());
+  for (std::size_t i = 0; i < table.rows(); ++i) copy.rows.push_back(table.row(i));
+  tables_.push_back(std::move(copy));
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", kReportSchema);
+  w.member("bench", bench_);
+  w.key("config");
+  w.begin_object();
+  for (const auto& [name, value] : config_) w.member(name, value);
+  w.end_object();
+  w.key("tables");
+  w.begin_array();
+  for (const TableCopy& t : tables_) {
+    w.begin_object();
+    w.member("title", t.title);
+    w.key("headers");
+    w.begin_array();
+    for (const std::string& h : t.headers) w.value(h);
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  metrics_.write_json(w);
+  w.end_object();
+  os << '\n';
+}
+
+void RunReport::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open report file: " + path);
+  write_json(out);
+  if (!out) throw std::runtime_error("failed writing report file: " + path);
+}
+
+}  // namespace nws::obs

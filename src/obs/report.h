@@ -1,0 +1,67 @@
+// Machine-readable run reports.
+//
+// Every bench binary can emit a --report=FILE JSON artifact carrying what
+// its stdout table shows plus what stdout loses: the exact flag
+// configuration, the result tables cell-for-cell, and the folded metrics
+// snapshot (bandwidths, latency percentiles, retry totals, flow/scheduler
+// counters).  EXPERIMENTS.md figures regenerate from these artifacts
+// instead of scraping console output.
+//
+// Schema (nws-report-v1):
+//   {
+//     "schema": "nws-report-v1",
+//     "bench":  "<binary name>",
+//     "config": { "<flag>": "<value>", ... },
+//     "tables": [ { "title": ..., "headers": [...], "rows": [[...], ...] } ],
+//     "metrics": { "<name>": { "kind": ..., ... } }
+//   }
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace nws::obs {
+
+inline constexpr const char* kReportSchema = "nws-report-v1";
+
+class RunReport {
+ public:
+  explicit RunReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void set_config(std::vector<std::pair<std::string, std::string>> entries) {
+    config_ = std::move(entries);
+  }
+
+  /// Records a result table (cells copied as printed, headers included).
+  void add_table(const std::string& title, const Table& table);
+
+  /// Folds `snapshot` into the report's metrics section.
+  void merge_metrics(const MetricsSnapshot& snapshot) { metrics_.fold(snapshot); }
+
+  [[nodiscard]] const MetricsSnapshot& metrics() const { return metrics_; }
+  [[nodiscard]] const std::string& bench() const { return bench_; }
+
+  void write_json(std::ostream& os) const;
+
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write_json_file(const std::string& path) const;
+
+ private:
+  struct TableCopy {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<TableCopy> tables_;
+  MetricsSnapshot metrics_;
+};
+
+}  // namespace nws::obs

@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "obs/json.h"
+
+namespace nws::obs {
+
+namespace {
+thread_local TraceRecorder* g_current_trace = nullptr;
+}  // namespace
+
+TraceRecorder* current_trace() { return g_current_trace; }
+
+TraceSession::TraceSession(TraceRecorder& rec) : previous_(g_current_trace) {
+  g_current_trace = &rec;
+}
+
+TraceSession::~TraceSession() { g_current_trace = previous_; }
+
+void TraceRecorder::bind_clock(const sim::Scheduler* sched) {
+  clock_ = sched;
+  // Each bound run starts where the previous one left off, so repetitions
+  // recorded back-to-back share one monotone timeline.
+  epoch_ns_ = high_water_;
+}
+
+void TraceRecorder::unbind_clock() { clock_ = nullptr; }
+
+TraceRecorder::Token TraceRecorder::begin(const char* name, const char* cat, Actor actor,
+                                          std::uint32_t iteration, double bytes) {
+  if (clock_ == nullptr) return 0;
+  const std::uint64_t t = now_ns();
+  high_water_ = std::max(high_water_, t);
+  SpanRecord rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.start_ns = t;
+  rec.end_ns = t;
+  rec.node = actor.node;
+  rec.proc = actor.proc;
+  rec.iteration = iteration;
+  rec.bytes = bytes;
+  spans_.push_back(rec);
+  return static_cast<Token>(spans_.size());  // index + 1
+}
+
+void TraceRecorder::end(Token token) {
+  if (token == 0 || token > spans_.size()) return;
+  SpanRecord& rec = spans_[token - 1];
+  if (!rec.open) return;
+  rec.open = false;
+  if (clock_ != nullptr) {
+    rec.end_ns = std::max(rec.start_ns, now_ns());
+    high_water_ = std::max(high_water_, rec.end_ns);
+  }
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  // Stable export order: by start time, then by creation order.
+  std::vector<std::size_t> order(spans_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return spans_[a].start_ns < spans_[b].start_ns;
+  });
+
+  std::vector<std::uint32_t> pids;
+  for (const SpanRecord& s : spans_) pids.push_back(s.node);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const std::uint32_t pid : pids) {
+    w.begin_object();
+    w.member("name", "process_name");
+    w.member("ph", "M");
+    w.member("pid", std::uint64_t{pid});
+    w.key("args");
+    w.begin_object();
+    w.member("name", pid == kNetworkNode ? std::string("network")
+                                         : "node " + std::to_string(pid));
+    w.end_object();
+    w.end_object();
+  }
+  for (const std::size_t i : order) {
+    const SpanRecord& s = spans_[i];
+    const std::uint64_t end = s.open ? std::max(s.start_ns, high_water_) : s.end_ns;
+    w.begin_object();
+    w.member("name", s.name);
+    w.member("cat", s.cat);
+    w.member("ph", "X");
+    w.member("ts", static_cast<double>(s.start_ns) / 1000.0);
+    w.member("dur", static_cast<double>(end - s.start_ns) / 1000.0);
+    w.member("pid", std::uint64_t{s.node});
+    w.member("tid", std::uint64_t{s.proc});
+    w.key("args");
+    w.begin_object();
+    w.member("iteration", std::uint64_t{s.iteration});
+    if (s.bytes >= 0.0) w.member("bytes", s.bytes);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace nws::obs

@@ -1,0 +1,155 @@
+// Trace spans on the simulated clock, exported as Chrome trace_event JSON.
+//
+// The paper's methodology (Section 5.5) is timestamped events — I/O start,
+// object open/close, data transfer boundaries — tagged with client node,
+// process and iteration.  This recorder captures exactly that as *spans*
+// (begin/end pairs) keyed to the simulated clock, and exports them in the
+// Chrome trace_event format so a run loads directly into Perfetto or
+// chrome://tracing: node -> pid, process (rank) -> tid, iteration -> args.
+//
+// Zero cost when disabled: instrumentation sites construct an obs::Span,
+// whose constructor is one thread_local read plus a branch on the resulting
+// pointer; with no TraceSession installed nothing else happens.  Recording
+// is enabled by installing a TraceRecorder for the current thread
+// (TraceSession RAII) and binding it to the simulation's clock for the
+// duration of a run (ScopedClock RAII) — the recorder outlives individual
+// runs, and each bind shifts the epoch so sequential runs (e.g. a write
+// phase replayed after a warm-up, or several repetitions) lay out one after
+// another on a single timeline.
+//
+// Spans may end out of creation order (coroutine frames interleave and are
+// destroyed whenever the scheduler drops them), so Span holds an index token
+// into the recorder rather than assuming stack discipline.  Spans still
+// open at export time are clamped to the latest timestamp seen.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace nws::obs {
+
+/// Who performed the work: simulated node id -> trace pid, process/rank on
+/// that node -> trace tid.
+struct Actor {
+  std::uint32_t node = 0;
+  std::uint32_t proc = 0;
+};
+
+/// Synthetic pid for spans with no client attribution (network flows).
+inline constexpr std::uint32_t kNetworkNode = 0xFFFFu;
+
+class TraceRecorder {
+ public:
+  /// Opaque span handle; 0 is the invalid token (recording disabled or clock
+  /// unbound when the span began).
+  using Token = std::uint32_t;
+
+  struct SpanRecord {
+    const char* name;  // static string (span taxonomy, docs/OBSERVABILITY.md)
+    const char* cat;   // static string: "io" | "daos" | "net" | "retry"
+    std::uint64_t start_ns = 0;  // epoch-shifted simulated time
+    std::uint64_t end_ns = 0;
+    std::uint32_t node = 0;
+    std::uint32_t proc = 0;
+    std::uint32_t iteration = 0;
+    double bytes = -1.0;  // payload size; < 0 = not applicable
+    bool open = true;
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Begins a span at the current simulated time.  Returns 0 (and records
+  /// nothing) while no clock is bound.
+  Token begin(const char* name, const char* cat, Actor actor, std::uint32_t iteration = 0,
+              double bytes = -1.0);
+
+  /// Ends the span; token 0 and double-end are no-ops.  With the clock
+  /// already unbound the span keeps its start time (zero duration).
+  void end(Token token);
+
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Chrome trace_event JSON: process_name metadata per pid plus one
+  /// complete ("ph":"X") event per span, sorted by start time.  Timestamps
+  /// are microseconds (the format's unit); still-open spans are clamped.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  friend class ScopedClock;
+
+  void bind_clock(const sim::Scheduler* sched);
+  void unbind_clock();
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return epoch_ns_ + static_cast<std::uint64_t>(clock_->now());
+  }
+
+  const sim::Scheduler* clock_ = nullptr;
+  std::uint64_t epoch_ns_ = 0;    // shift applied to the bound clock
+  std::uint64_t high_water_ = 0;  // latest timestamp recorded so far
+  std::vector<SpanRecord> spans_;
+};
+
+/// Returns the recorder installed for this thread, or nullptr (tracing off).
+TraceRecorder* current_trace();
+
+/// Installs `rec` as this thread's recorder for the scope.  Nesting restores
+/// the previous recorder on destruction.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceRecorder& rec);
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession();
+
+ private:
+  TraceRecorder* previous_;
+};
+
+/// Binds the thread's recorder (if any) to `sched` for the scope of one
+/// simulation run.  Placed where the run owns a fresh sim::Scheduler
+/// (run_ior_once / run_field_once / the MPI and Lustre runners); a no-op
+/// when tracing is off.
+class ScopedClock {
+ public:
+  explicit ScopedClock(sim::Scheduler& sched) : rec_(current_trace()) {
+    if (rec_ != nullptr) rec_->bind_clock(&sched);
+  }
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+  ~ScopedClock() {
+    if (rec_ != nullptr) rec_->unbind_clock();
+  }
+
+ private:
+  TraceRecorder* rec_;
+};
+
+/// RAII span over the thread's current recorder.  Constructing one while
+/// tracing is off costs a thread_local read and a branch on a null pointer.
+class Span {
+ public:
+  Span(const char* name, const char* cat, Actor actor = {}, std::uint32_t iteration = 0,
+       double bytes = -1.0)
+      : rec_(current_trace()) {
+    if (rec_ != nullptr) token_ = rec_->begin(name, cat, actor, iteration, bytes);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (rec_ != nullptr) rec_->end(token_);
+  }
+
+ private:
+  TraceRecorder* rec_;
+  TraceRecorder::Token token_ = 0;
+};
+
+}  // namespace nws::obs

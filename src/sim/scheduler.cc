@@ -44,7 +44,6 @@ std::uint32_t Scheduler::acquire_slot() {
 void Scheduler::recycle_slot(std::uint32_t slot) {
   Timer::Slot& s = timers_->slots[slot];
   ++s.generation;  // outstanding handles to the old incarnation go stale
-  s.cancelled = false;
   timers_->free_slots.push_back(slot);
 }
 
@@ -54,11 +53,10 @@ bool Scheduler::step() {
     queue_.pop();
     if (ev.timer_slot != kNoTimer) {
       Timer::Slot& slot = timers_->slots[ev.timer_slot];
-      if (slot.generation != ev.timer_generation) continue;  // stale entry
-      if (slot.cancelled) {  // skip cancelled timers (not counted as events)
-        recycle_slot(ev.timer_slot);
-        continue;
-      }
+      // Stale entry: the slot was recycled, either because the timer was
+      // cancelled (cancel() bumps the generation and frees the slot eagerly)
+      // or because it already fired and the slot hosts a new incarnation.
+      if (slot.generation != ev.timer_generation) continue;
       now_ = ev.t;
       ++events_executed_;
       // Detach the callback before invoking: the callback may cancel or

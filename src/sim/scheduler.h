@@ -153,7 +153,6 @@ class Timer {
   struct Slot {
     InlineCallback callback;
     std::uint64_t generation = 0;  // bumped on recycle: stale handles miss
-    bool cancelled = false;
   };
   /// Shared between the scheduler and outstanding Timer handles; `dead`
   /// flips when the scheduler is destroyed (slots keep their storage until
@@ -227,6 +226,11 @@ class Scheduler {
   [[nodiscard]] std::size_t live_processes() const { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Timer slot-pool introspection (regression coverage for eager slot
+  /// recycling on cancel; the pool must not grow with cancelled timers).
+  [[nodiscard]] std::size_t timer_slot_count() const { return timers_->slots.size(); }
+  [[nodiscard]] std::size_t free_timer_slots() const { return timers_->free_slots.size(); }
+
  private:
   static constexpr std::uint32_t kNoTimer = 0xffffffffu;
 
@@ -282,8 +286,12 @@ inline void Timer::cancel() {
   if (table_ && !table_->dead) {
     Slot& slot = table_->slots[slot_];
     if (slot.generation == generation_) {
-      slot.cancelled = true;
-      slot.callback.reset();  // free captures now, not at queue drain
+      // Free captures now, not at queue drain, and recycle the slot eagerly:
+      // the queued event goes stale through the generation bump, so cancelled
+      // far-future timers no longer pin a slot until the queue reaches them.
+      slot.callback.reset();
+      ++slot.generation;
+      table_->free_slots.push_back(slot_);
     }
   }
   table_.reset();
@@ -291,8 +299,7 @@ inline void Timer::cancel() {
 
 inline bool Timer::pending() const {
   if (!table_ || table_->dead) return false;
-  const Slot& slot = table_->slots[slot_];
-  return slot.generation == generation_ && !slot.cancelled;
+  return table_->slots[slot_].generation == generation_;
 }
 
 }  // namespace nws::sim

@@ -16,11 +16,15 @@
 //
 // NWS_CHAOS_SEED shifts the sweep's base seed (default 1) and NWS_CHAOS_COUNT
 // its scenario count (default 200), so the same binary serves as both the CI
-// sweep and the single-seed repro tool.
+// sweep and the single-seed repro tool.  Adding NWS_CHAOS_TRACE=<file> to a
+// replay additionally exports the scenario's trace spans as Chrome trace
+// JSON (loadable in Perfetto) for visual fault forensics.
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,7 @@
 #include "harness/experiment.h"
 #include "harness/field_bench.h"
 #include "harness/run_pool.h"
+#include "obs/trace.h"
 
 namespace nws::bench {
 namespace {
@@ -113,6 +118,17 @@ std::uint64_t log_fingerprint(std::uint64_t h, const IoLog& log) {
 Outcome run_scenario(std::uint64_t seed) {
   const Scenario sc = make_scenario(seed);
   sim::Scheduler sched;
+  // NWS_CHAOS_TRACE=<file>: export this scenario's spans as Chrome trace
+  // JSON (Perfetto-loadable).  Only honoured together with NWS_CHAOS_SEED —
+  // a single-seed replay runs serially, so exactly one scenario writes the
+  // file.  Tracing never perturbs the simulation, so the replayed
+  // fingerprint stays bit-identical to the sweep's.
+  const char* trace_path =
+      std::getenv("NWS_CHAOS_SEED") != nullptr ? std::getenv("NWS_CHAOS_TRACE") : nullptr;
+  obs::TraceRecorder recorder;
+  std::optional<obs::TraceSession> session;
+  if (trace_path != nullptr) session.emplace(recorder);
+  const obs::ScopedClock trace_clock(sched);
   daos::Cluster cluster(sched, sc.cfg);
   const FieldBenchResult result = sc.pattern == 'A' ? run_field_pattern_a(cluster, sc.params)
                                                     : run_field_pattern_b(cluster, sc.params);
@@ -146,6 +162,11 @@ Outcome run_scenario(std::uint64_t seed) {
     h = fp(h, fs.windows_applied);
   }
   out.fingerprint = h;
+
+  if (trace_path != nullptr) {
+    std::ofstream trace_out(trace_path);
+    recorder.write_chrome_json(trace_out);
+  }
   return out;
 }
 

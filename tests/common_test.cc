@@ -172,6 +172,26 @@ TEST(Stats, AddInvalidatesCache) {
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
 }
 
+TEST(Stats, SealedAccessorsMatchUnsealed) {
+  // Regression: the order-statistic cache used to be (re)built inside const
+  // accessors, a data race once a Summary was shared across run_pool
+  // workers.  Now const readers never mutate; seal() builds the cache
+  // explicitly and must not change any reported value.
+  Summary s({30.0, 10.0, 50.0, 20.0, 40.0});
+  const double unsealed_p25 = s.percentile(25);
+  const double unsealed_min = s.min();
+  const double unsealed_max = s.max();
+  s.seal();
+  EXPECT_DOUBLE_EQ(s.percentile(25), unsealed_p25);
+  EXPECT_DOUBLE_EQ(s.min(), unsealed_min);
+  EXPECT_DOUBLE_EQ(s.max(), unsealed_max);
+  s.add(5.0);  // invalidates the cache; values must track the new sample
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  s.seal();
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 50.0);
+}
+
 TEST(Stats, EmptyThrows) {
   Summary s;
   EXPECT_TRUE(s.empty());

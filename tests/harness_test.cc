@@ -6,6 +6,7 @@
 #include <bit>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "harness/experiment.h"
 #include "harness/field_bench.h"
@@ -13,6 +14,7 @@
 #include "harness/run_pool.h"
 #include "ior/ior.h"
 #include "mpibench/mpibench.h"
+#include "obs/trace.h"
 #include "sim/sync.h"
 
 namespace nws::bench {
@@ -70,6 +72,19 @@ TEST(IoLogTest, OpLatencyDistribution) {
   EXPECT_DOUBLE_EQ(log.op_latencies().min(), 1.0);
   EXPECT_DOUBLE_EQ(log.op_latencies().max(), 4.0);
   EXPECT_DOUBLE_EQ(log.op_latencies().median(), 2.0);
+}
+
+TEST(IoLogTest, ZeroDurationIterationsSkippedInEq1) {
+  // Regression: an iteration whose ops all start and end on the same tick
+  // (instant transfers, cache-hit models) used to contribute a 0/0 division
+  // to the Eq. 1 mean.  Such iterations are now skipped, and a log with no
+  // timed iteration reports zero bandwidth instead of NaN.
+  IoLog log;
+  log.record(0, 0, 0, sim::seconds(1.0), sim::seconds(1.0), 1_MiB);
+  EXPECT_DOUBLE_EQ(log.synchronous_bandwidth(), 0.0);
+  // A timed iteration alongside the degenerate one: only it counts.
+  log.record(0, 0, 1, sim::seconds(2.0), sim::seconds(3.0), 2_MiB);
+  EXPECT_DOUBLE_EQ(log.synchronous_bandwidth(), static_cast<double>(2_MiB));
 }
 
 TEST(IoLogTest, RejectsBackwardsInterval) {
@@ -413,6 +428,104 @@ TEST(ExperimentTest, RepeatAndBestOverPpnIdenticalAtAnyJobCount) {
   EXPECT_EQ(best_serial.ppn, best_parallel.ppn);
   EXPECT_EQ(std::bit_cast<std::uint64_t>(best_serial.summary.mean_aggregate()),
             std::bit_cast<std::uint64_t>(best_parallel.summary.mean_aggregate()));
+}
+
+TEST(ExperimentTest, MetricsSnapshotIdenticalAtAnyJobCount) {
+  // The folded MetricsSnapshot inherits run_pool's determinism guarantee:
+  // counters, gauges and histogram sample order must be bit-identical
+  // whether the repetitions ran serially or on 8 workers.
+  FieldBenchParams params;
+  params.ops_per_process = 3;
+  params.processes_per_node = 4;
+  const auto run = [&](std::uint64_t seed) {
+    return run_field_once(testbed_config(1, 1), params, 'A', seed);
+  };
+  const RepetitionSummary serial = repeat(4, 99, run, 1);
+  const RepetitionSummary wide = repeat(4, 99, run, 8);
+  ASSERT_FALSE(serial.any_failed);
+  EXPECT_FALSE(serial.metrics.empty());
+  EXPECT_TRUE(serial.metrics == wide.metrics);
+  // Sanity-check one counter end to end: 4 procs x 3 ops x 4 repetitions.
+  EXPECT_DOUBLE_EQ(serial.metrics.value("io.write.operations"), 48.0);
+  EXPECT_DOUBLE_EQ(serial.metrics.value("fdb.fields_written"), 48.0);
+}
+
+TEST(FieldBenchTest, LayerCountersAggregatedIntoResult) {
+  // Regression for the stats-flush bug: per-process FieldIo/Client counters
+  // used to be dropped when worker coroutines finished, leaving the layer
+  // totals of a run at zero.
+  sim::Scheduler sched;
+  daos::Cluster cluster(sched, testbed_config(1, 1));
+  FieldBenchParams params;
+  params.ops_per_process = 5;
+  params.processes_per_node = 4;
+  const FieldBenchResult result = run_field_pattern_a(cluster, params);
+  ASSERT_FALSE(result.failed) << result.failure;
+  EXPECT_EQ(result.field_stats.fields_written, 20u);
+  EXPECT_EQ(result.field_stats.fields_read, 20u);
+  EXPECT_EQ(result.field_stats.bytes_written, 20u * params.field_size);
+  EXPECT_EQ(result.field_stats.bytes_read, 20u * params.field_size);
+  EXPECT_GT(result.client_stats.kv_puts, 0u);        // index/catalogue traffic
+  EXPECT_EQ(result.client_stats.array_writes, 20u);  // one array write per field
+  EXPECT_GE(result.client_stats.bytes_written, result.field_stats.bytes_written);
+}
+
+TEST(StatsRaceTest, ConcurrentConstReadersAreRaceFree) {
+  // Regression (run under TSan in scripts/check.sh): const order-statistic
+  // accessors on an unsealed shared Summary must not mutate the cache.
+  Summary shared;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 1024; ++i) {
+    v = v * 6364136223846793005ull + 1442695040888963407ull;
+    shared.add(static_cast<double>(v >> 40));
+  }
+  const double expected_p95 = shared.percentile(95);
+  const double expected_min = shared.min();
+  const double expected_max = shared.max();
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (shared.percentile(95) != expected_p95 || shared.min() != expected_min ||
+            shared.max() != expected_max) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(TraceIntegrationTest, FieldRunEmitsSpansForEveryLayer) {
+  // One traced field run must yield closed spans from the harness ("io"),
+  // the DAOS client ("daos") and the network ("net") on a single timeline.
+  obs::TraceRecorder recorder;
+  FieldBenchParams params;
+  params.ops_per_process = 3;
+  params.processes_per_node = 4;
+  {
+    obs::TraceSession session(recorder);
+    const RunOutcome out = run_field_once(testbed_config(1, 1), params, 'A', 5);
+    ASSERT_FALSE(out.failed);
+  }
+  ASSERT_GT(recorder.span_count(), 0u);
+  std::size_t io_spans = 0;
+  bool saw_daos = false;
+  bool saw_net = false;
+  for (const auto& span : recorder.spans()) {
+    EXPECT_FALSE(span.open) << span.name;
+    EXPECT_LE(span.start_ns, span.end_ns);
+    const std::string cat = span.cat;
+    if (cat == "io") ++io_spans;
+    if (cat == "daos") saw_daos = true;
+    if (cat == "net") saw_net = true;
+  }
+  // One "io" span per field op: 4 procs x 3 ops, write phase + read phase.
+  EXPECT_EQ(io_spans, 24u);
+  EXPECT_TRUE(saw_daos);
+  EXPECT_TRUE(saw_net);
 }
 
 TEST(MpiBenchTest, Table2Shape) {

@@ -202,6 +202,25 @@ TEST(FlowSchedulerTest, ZeroByteTransferCompletesImmediately) {
   EXPECT_EQ(done, 0);
 }
 
+TEST(FlowSchedulerTest, InstantTransfersAreAccounted) {
+  // Regression: the empty-path and zero-byte fast paths used to return
+  // without touching FlowStats, so conservation checks (bytes requested ==
+  // bytes delivered) failed whenever a model legitimately moved zero-cost
+  // payloads.
+  Fixture fx;
+  const LinkId link = fx.flows.add_link(plain_link("l", 100.0));
+  sim::TimePoint a = -1;
+  sim::TimePoint b = -1;
+  fx.sched.spawn(run_transfer(fx.flows, {}, 1000, kInf, &a, &fx.sched));
+  fx.sched.spawn(run_transfer(fx.flows, {link}, 0, kInf, &b, &fx.sched));
+  fx.sched.run();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 0);
+  EXPECT_EQ(fx.flows.stats().flows_started, 2u);
+  EXPECT_EQ(fx.flows.stats().flows_completed, 2u);
+  EXPECT_DOUBLE_EQ(fx.flows.stats().bytes_delivered, 1000.0);
+}
+
 TEST(FlowSchedulerTest, UnknownLinkRejected) {
   Fixture fx;
   sim::TimePoint done = -1;

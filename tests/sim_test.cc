@@ -161,6 +161,43 @@ TEST(Scheduler, FiredTimerNotPendingAndCancelHarmless) {
   EXPECT_FALSE(timer.pending());
 }
 
+TEST(Scheduler, CancelledTimerSlotRecycledEagerly) {
+  // Regression: cancelled slots used to be reclaimed only when the queue
+  // drained the dead event, so a schedule-then-cancel loop with far-future
+  // deadlines (the retry/fault-plan pattern) grew the slot table without
+  // bound.  Cancel must return the slot to the free list immediately.
+  Scheduler sched;
+  for (int i = 0; i < 1000; ++i) {
+    Timer t = sched.schedule_callback(seconds(1000), [] {});
+    t.cancel();
+  }
+  EXPECT_LE(sched.timer_slot_count(), 2u);
+  EXPECT_EQ(sched.free_timer_slots(), sched.timer_slot_count());
+  // A live timer still fires correctly through the 1000 dead queued events.
+  int fired = 0;
+  sched.schedule_callback(seconds(1), [&] { ++fired; });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), seconds(1));  // dead events do not advance time
+}
+
+TEST(Scheduler, StaleHandleCannotCancelRecycledSlot) {
+  // With eager recycling a cancelled Timer's slot may be reused while the
+  // old handle is still alive; the generation counter must make the stale
+  // handle inert.
+  Scheduler sched;
+  int fired = 0;
+  Timer a = sched.schedule_callback(seconds(1), [&] { fired += 1; });
+  a.cancel();
+  Timer b = sched.schedule_callback(seconds(2), [&] { fired += 10; });  // reuses a's slot
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  a.cancel();  // stale generation: must not disturb b
+  EXPECT_TRUE(b.pending());
+  sched.run();
+  EXPECT_EQ(fired, 10);
+}
+
 TEST(Scheduler, TimerCancelReleasesCallbackCaptures) {
   // cancel() must drop the stored std::function immediately so captured
   // resources are freed before the queue drains the dead event.
