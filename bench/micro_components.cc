@@ -1,7 +1,14 @@
 // Component micro-benchmarks (google-benchmark): engineering hygiene for
 // the simulator's hot paths rather than a paper reproduction.
+//
+// Speaks the same artifact protocol as the reproduction benches: --trace and
+// --report (obs_lint-clean nws-report-v1) alongside google-benchmark's own
+// flags.  Wall-clock timings land in the report table; the trace carries a
+// small simulated KV/array scenario, since spans exist only in simulated
+// time.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/md5.h"
 #include "common/rng.h"
 #include "daos/client.h"
@@ -153,6 +160,86 @@ void BM_KvPutGetSimulated(benchmark::State& state) {
 }
 BENCHMARK(BM_KvPutGetSimulated);
 
+/// Captures every finished run into the report table on its way to the
+/// normal console output.
+class TableReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TableReporter(Table& table) : table_(table) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      table_.add_row({run.benchmark_name(), std::to_string(run.iterations),
+                      strf("%.1f", run.GetAdjustedRealTime()),
+                      strf("%.1f", run.GetAdjustedCPUTime())});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Table& table_;
+};
+
+/// A short simulated KV round-trip scenario so --trace has spans to record
+/// (the google-benchmark loops above run in host time, which the trace
+/// recorder cannot see) and --report carries simulator metrics.
+void record_simulated_scenario(bench::BenchObs& obs) {
+  sim::Scheduler sched;
+  const obs::ScopedClock trace_clock(sched);
+  daos::ClusterConfig cfg;
+  cfg.server_nodes = 1;
+  cfg.client_nodes = 1;
+  daos::Cluster cluster(sched, cfg);
+  sched.spawn([](daos::Cluster& cl) -> sim::Task<void> {
+    daos::Client client(cl, cl.client_endpoint(0, 0), 0);
+    daos::ContHandle cont = co_await client.main_cont_open();
+    daos::KvHandle kv = co_await client.kv_open(
+        cont, daos::ObjectId::generate(0, 1, daos::ObjectType::key_value, daos::ObjectClass::SX));
+    for (int i = 0; i < 10; ++i) {
+      (co_await client.kv_put(kv, "k" + std::to_string(i), "v")).expect_ok("put");
+      (void)co_await client.kv_get(kv, "k" + std::to_string(i));
+    }
+  }(cluster));
+  sched.run();
+  obs::MetricsSnapshot metrics;
+  metrics.counter("sim.events", static_cast<double>(sched.events_executed()));
+  metrics.gauge("sim.time_seconds", sim::to_seconds(sched.now()));
+  obs.merge_metrics(metrics);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark's flag parser rejects flags it does not know, so the
+  // artifact flags are split out of argv before Initialize sees it.
+  std::vector<char*> bench_args{argv[0]};
+  std::vector<char*> artifact_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool ours = arg.rfind("--trace", 0) == 0 || arg.rfind("--report", 0) == 0 ||
+                      arg.rfind("--csv", 0) == 0;
+    (ours ? artifact_args : bench_args).push_back(argv[i]);
+  }
+  Cli cli;
+  cli.add_flag("trace", "", "write a Chrome trace_event JSON (simulated scenario spans)");
+  cli.add_flag("report", "", "write a machine-readable run-report JSON (nws-report-v1)");
+  cli.add_flag("csv", "", "also write the timing table to this CSV file");
+  int artifact_argc = static_cast<int>(artifact_args.size());
+  if (!cli.parse(artifact_argc, artifact_args.data())) return 0;
+  bench::BenchObs obs(cli, "micro_components");
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) return 1;
+
+  Table table({"benchmark", "iterations", "real ns/iter", "cpu ns/iter"});
+  TableReporter reporter(table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  record_simulated_scenario(obs);
+  obs.add_table("Component micro-benchmarks (host wall clock)", table);
+  const std::string csv = cli.get("csv");
+  if (!csv.empty()) table.write_csv_file(csv);
+  return obs.finish();
+}

@@ -37,7 +37,10 @@ done
 # Runs one quick bench out of $1/bench with tracing + reporting on and lints
 # the artifacts it wrote.  Kept tiny (--quick, 1 repetition, 4 ops) so the
 # stage costs seconds while still covering span export, metrics folding and
-# the nws-report-v1 schema end to end.
+# the nws-report-v1 schema end to end.  A second pass does the same through
+# micro_components, whose artifact plumbing lives outside BenchRunner (it
+# wraps google-benchmark's own driver), so its --trace/--report wiring is
+# covered separately.
 check_artifacts() {
   local build_dir="$1"
   local scratch
@@ -46,6 +49,12 @@ check_artifacts() {
   "$build_dir"/bench/fig6_objclass_size --quick --reps=1 --ops=4 \
     --trace="$scratch/trace.json" --report="$scratch/report.json" >/dev/null
   "$build_dir"/bench/obs_lint --trace="$scratch/trace.json" --report="$scratch/report.json"
+  echo "==> artifact check ($build_dir, micro_components --trace/--report)"
+  "$build_dir"/bench/micro_components --benchmark_filter=BM_Md5_1KiB \
+    --benchmark_min_time=0.01 \
+    --trace="$scratch/micro.trace.json" --report="$scratch/micro.report.json" >/dev/null
+  "$build_dir"/bench/obs_lint --trace="$scratch/micro.trace.json" \
+    --report="$scratch/micro.report.json"
   rm -rf "$scratch"
 }
 
@@ -70,7 +79,7 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "==> TSan build (build-tsan/, -fsanitize=thread): run pool + chaos sweep"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DNWS_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test fig6_objclass_size obs_lint
+  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test fig6_objclass_size micro_components obs_lint
   # The pool tests pin their own thread counts; the chaos sweep runs a
   # reduced scenario count (TSan is ~10x slower) across all hardware threads
   # to actually exercise cross-thread stealing.  StatsRaceTest hammers the

@@ -9,7 +9,12 @@ constexpr const char* kStoreContainerEntry = "__store_container";
 }
 
 Catalogue::Catalogue(daos::Client& client, FieldIoConfig config)
-    : client_(client), config_(config) {}
+    : client_(client),
+      config_(config),
+      // Jitter stream seeded like FieldIo's, under a catalogue-specific salt,
+      // so administrative retries never perturb workload backoff jitter.
+      retrier_(client, config.retry, mix64(client.cluster().config().seed ^ 0xca7a7106ull),
+               &retries_) {}
 
 sim::Task<Status> Catalogue::init() {
   if (initialised_) co_return Status::ok();
@@ -37,7 +42,8 @@ sim::Task<Result<std::vector<FieldEntry>>> Catalogue::fields_of(const std::strin
   std::vector<FieldEntry> fields;
   for (const std::string& key : co_await client_.kv_list(index_kv)) {
     if (key == kStoreContainerEntry) continue;
-    auto ref = co_await client_.kv_get(index_kv, key);
+    auto ref = co_await retrier_.run_result<std::string>(
+        [&] { return client_.kv_get(index_kv, key); });
     if (!ref.is_ok()) co_return ref.status();
     auto oid = oid_from_string(ref.value());
     if (!oid.is_ok()) co_return oid.status();
@@ -45,11 +51,17 @@ sim::Task<Result<std::vector<FieldEntry>>> Catalogue::fields_of(const std::strin
     FieldEntry entry;
     entry.field_key = key;
     entry.array = oid.value();
-    auto array = co_await client_.array_open(store_cont, entry.array);
+    auto array = co_await retrier_.run_result<daos::ArrayHandle>(
+        [&] { return client_.array_open(store_cont, entry.array); });
     if (array.is_ok()) {
       auto handle = array.value();
       entry.size = co_await client_.array_get_size(handle);
       co_await client_.array_close(handle);
+    } else if (array.status().code() != Errc::not_found) {
+      // A transiently unreachable array must fail the listing (silently
+      // reporting size 0 would corrupt totals under injected faults); only a
+      // genuinely absent array — destroyed concurrently — degrades to 0.
+      co_return array.status();
     }
     fields.push_back(std::move(entry));
   }
@@ -62,12 +74,17 @@ sim::Task<Result<std::vector<FieldEntry>>> Catalogue::list_fields(const std::str
   daos::ContHandle index_cont = main_cont_;
   daos::ContHandle store_cont = main_cont_;
   if (config_.mode == Mode::full) {
-    auto exists = co_await client_.kv_get(main_kv_, forecast_key);
+    auto exists = co_await retrier_.run_result<std::string>(
+        [&] { return client_.kv_get(main_kv_, forecast_key); });
     if (!exists.is_ok()) co_return exists.status();
-    auto opened_index = co_await client_.cont_open(daos::Uuid::from_string_md5(forecast_key + ":index"));
+    const daos::Uuid index_uuid = daos::Uuid::from_string_md5(forecast_key + ":index");
+    auto opened_index = co_await retrier_.run_result<daos::ContHandle>(
+        [&] { return client_.cont_open(index_uuid); });
     if (!opened_index.is_ok()) co_return opened_index.status();
     index_cont = opened_index.value();
-    auto opened_store = co_await client_.cont_open(daos::Uuid::from_string_md5(forecast_key + ":store"));
+    const daos::Uuid store_uuid = daos::Uuid::from_string_md5(forecast_key + ":store");
+    auto opened_store = co_await retrier_.run_result<daos::ContHandle>(
+        [&] { return client_.cont_open(store_uuid); });
     if (!opened_store.is_ok()) co_return opened_store.status();
     store_cont = opened_store.value();
   }
@@ -96,9 +113,12 @@ sim::Task<Result<Catalogue::PurgeReport>> Catalogue::purge(const std::string& fo
   // Resolve the store container and the set of referenced array ids.
   daos::ContHandle store_cont = main_cont_;
   if (config_.mode == Mode::full) {
-    auto exists = co_await client_.kv_get(main_kv_, forecast_key);
+    auto exists = co_await retrier_.run_result<std::string>(
+        [&] { return client_.kv_get(main_kv_, forecast_key); });
     if (!exists.is_ok()) co_return exists.status();
-    auto opened = co_await client_.cont_open(daos::Uuid::from_string_md5(forecast_key + ":store"));
+    const daos::Uuid store_uuid = daos::Uuid::from_string_md5(forecast_key + ":store");
+    auto opened = co_await retrier_.run_result<daos::ContHandle>(
+        [&] { return client_.cont_open(store_uuid); });
     if (!opened.is_ok()) co_return opened.status();
     store_cont = opened.value();
   }
@@ -120,14 +140,18 @@ sim::Task<Result<Catalogue::PurgeReport>> Catalogue::purge(const std::string& fo
   PurgeReport report;
   for (const daos::ObjectId& oid : store_cont.container->list_arrays()) {
     if (std::binary_search(referenced.begin(), referenced.end(), oid)) continue;
-    auto opened = co_await client_.array_open(store_cont, oid);
+    auto opened = co_await retrier_.run_result<daos::ArrayHandle>(
+        [&] { return client_.array_open(store_cont, oid); });
     Bytes size = 0;
     if (opened.is_ok()) {
       auto handle = opened.value();
       size = co_await client_.array_get_size(handle);
       co_await client_.array_close(handle);
+    } else if (opened.status().code() != Errc::not_found) {
+      co_return opened.status();
     }
-    const Status destroyed = co_await client_.array_destroy(store_cont, oid);
+    const Status destroyed =
+        co_await retrier_.run([&] { return client_.array_destroy(store_cont, oid); });
     if (!destroyed.is_ok()) co_return destroyed;
     ++report.arrays_destroyed;
     report.bytes_reclaimed += size;

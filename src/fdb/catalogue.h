@@ -34,6 +34,12 @@ class Catalogue {
 
   sim::Task<Status> init();
 
+  /// Retry attempts the catalogue's operations needed (fault injection);
+  /// mirrors FieldIoStats::retries.  Listing and purge run under the same
+  /// RetryPolicy as FieldIo (config.retry), so administrative sweeps survive
+  /// injected target outages too.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
   /// Forecasts registered in the main index, with field counts and sizes.
   sim::Task<Result<std::vector<ForecastEntry>>> list_forecasts();
 
@@ -62,6 +68,9 @@ class Catalogue {
 
   daos::Client& client_;
   FieldIoConfig config_;
+  /// Drives config_.retry over client_ (retry.h); counts into retries_.
+  Retrier retrier_;
+  std::uint64_t retries_ = 0;
   bool initialised_ = false;
   daos::ContHandle main_cont_;
   daos::KvHandle main_kv_;

@@ -57,20 +57,8 @@ FieldIo::FieldIo(daos::Client& client, FieldIoConfig config, std::uint32_t rank)
       rank_(rank),
       // Seeded from (cluster seed, rank) without drawing from the cluster's
       // own stream, so enabling retries never perturbs unrelated jitter.
-      rng_(mix64(client.cluster().config().seed ^ (0xf1e1d100ull + rank))) {}
-
-sim::Task<void> FieldIo::retry_backoff(std::size_t attempt) {
-  obs::Span span("retry_backoff", "retry", client_.trace_actor());
-  const RetryPolicy& p = config_.retry;
-  double backoff = static_cast<double>(p.initial_backoff);
-  for (std::size_t i = 0; i < attempt; ++i) backoff *= p.multiplier;
-  const auto cap = static_cast<double>(p.max_backoff);
-  if (backoff > cap) backoff = cap;
-  backoff *= rng_.uniform(1.0 - p.jitter, 1.0 + p.jitter);
-  ++stats_.retries;
-  client_.note_retry();
-  co_await client_.cluster().scheduler().delay(static_cast<sim::Duration>(backoff));
-}
+      retrier_(client, config.retry, mix64(client.cluster().config().seed ^ (0xf1e1d100ull + rank)),
+               &stats_.retries) {}
 
 sim::Task<Status> FieldIo::init() {
   if (initialised_) co_return Status::ok();
@@ -107,32 +95,32 @@ sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_write
     handles.index_cont = main_cont_;
     handles.store_cont = main_cont_;
     handles.index_kv = co_await client_.kv_open(main_cont_, forecast_kv_oid(msk));
-    auto indexed = co_await with_retry_result<std::string>(
+    auto indexed = co_await retrier_.run_result<std::string>(
         [&] { return client_.kv_get(main_kv_, msk); });
     if (!indexed.is_ok()) {
       if (indexed.status().code() != Errc::not_found) co_return indexed.status();
       const Status registered =
-          co_await with_retry([&] { return client_.kv_put(main_kv_, msk, msk + ":kv"); });
+          co_await retrier_.run([&] { return client_.kv_put(main_kv_, msk, msk + ":kv"); });
       if (!registered.is_ok()) co_return registered;
     }
     co_return &forecasts_.emplace(msk, handles).first->second;
   }
 
   // Algorithm 1: query the main index for the forecast.
-  auto indexed = co_await with_retry_result<std::string>(
+  auto indexed = co_await retrier_.run_result<std::string>(
       [&] { return client_.kv_get(main_kv_, msk); });
   if (indexed.is_ok()) {
     const daos::Uuid index_uuid = index_container_uuid(msk);
-    auto index_cont = co_await with_retry_result<daos::ContHandle>(
+    auto index_cont = co_await retrier_.run_result<daos::ContHandle>(
         [&] { return client_.cont_open(index_uuid); });
     if (!index_cont.is_ok()) co_return index_cont.status();
     handles.index_cont = index_cont.value();
     handles.index_kv = co_await client_.kv_open(handles.index_cont, forecast_kv_oid(msk));
-    auto store_ref = co_await with_retry_result<std::string>(
+    auto store_ref = co_await retrier_.run_result<std::string>(
         [&] { return client_.kv_get(handles.index_kv, kStoreContainerEntry); });
     if (!store_ref.is_ok()) co_return store_ref.status();
     const daos::Uuid resolved_store_uuid = daos::Uuid::from_string_md5(store_ref.value());
-    auto store_cont = co_await with_retry_result<daos::ContHandle>(
+    auto store_cont = co_await retrier_.run_result<daos::ContHandle>(
         [&] { return client_.cont_open(resolved_store_uuid); });
     if (!store_cont.is_ok()) co_return store_cont.status();
     handles.store_cont = store_cont.value();
@@ -146,14 +134,14 @@ sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_write
   const daos::Uuid index_uuid = index_container_uuid(msk);
   const daos::Uuid store_uuid = store_container_uuid(msk);
   for (const daos::Uuid& uuid : {index_uuid, store_uuid}) {
-    const Status created = co_await with_retry([&] { return client_.cont_create(uuid); });
+    const Status created = co_await retrier_.run([&] { return client_.cont_create(uuid); });
     if (!created.is_ok() && created.code() != Errc::already_exists) co_return created;
   }
-  auto index_cont = co_await with_retry_result<daos::ContHandle>(
+  auto index_cont = co_await retrier_.run_result<daos::ContHandle>(
       [&] { return client_.cont_open(index_uuid); });
   if (!index_cont.is_ok()) co_return index_cont.status();
   handles.index_cont = index_cont.value();
-  auto store_cont = co_await with_retry_result<daos::ContHandle>(
+  auto store_cont = co_await retrier_.run_result<daos::ContHandle>(
       [&] { return client_.cont_open(store_uuid); });
   if (!store_cont.is_ok()) co_return store_cont.status();
   handles.store_cont = store_cont.value();
@@ -161,11 +149,11 @@ sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_write
   // Register the store container id in the forecast index KV, then register
   // the forecast in the main index.
   handles.index_kv = co_await client_.kv_open(handles.index_cont, forecast_kv_oid(msk));
-  const Status store_reg = co_await with_retry(
+  const Status store_reg = co_await retrier_.run(
       [&] { return client_.kv_put(handles.index_kv, kStoreContainerEntry, msk + ":store"); });
   if (!store_reg.is_ok()) co_return store_reg;
   const Status main_reg =
-      co_await with_retry([&] { return client_.kv_put(main_kv_, msk, msk + ":index"); });
+      co_await retrier_.run([&] { return client_.kv_put(main_kv_, msk, msk + ":index"); });
   if (!main_reg.is_ok()) co_return main_reg;
 
   co_return &forecasts_.emplace(msk, handles).first->second;
@@ -178,7 +166,7 @@ sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_read(
   ForecastHandles handles;
 
   if (config_.mode == Mode::no_containers) {
-    auto indexed = co_await with_retry_result<std::string>(
+    auto indexed = co_await retrier_.run_result<std::string>(
         [&] { return client_.kv_get(main_kv_, msk); });
     if (!indexed.is_ok()) co_return indexed.status();  // unknown forecasts fail
     handles.index_cont = main_cont_;
@@ -188,21 +176,21 @@ sim::Task<Result<FieldIo::ForecastHandles*>> FieldIo::resolve_forecast_for_read(
   }
 
   // Algorithm 2: unknown forecasts fail.
-  auto indexed = co_await with_retry_result<std::string>(
+  auto indexed = co_await retrier_.run_result<std::string>(
       [&] { return client_.kv_get(main_kv_, msk); });
   if (!indexed.is_ok()) co_return indexed.status();
 
   const daos::Uuid index_uuid = index_container_uuid(msk);
-  auto index_cont = co_await with_retry_result<daos::ContHandle>(
+  auto index_cont = co_await retrier_.run_result<daos::ContHandle>(
       [&] { return client_.cont_open(index_uuid); });
   if (!index_cont.is_ok()) co_return index_cont.status();
   handles.index_cont = index_cont.value();
   handles.index_kv = co_await client_.kv_open(handles.index_cont, forecast_kv_oid(msk));
-  auto store_ref = co_await with_retry_result<std::string>(
+  auto store_ref = co_await retrier_.run_result<std::string>(
       [&] { return client_.kv_get(handles.index_kv, kStoreContainerEntry); });
   if (!store_ref.is_ok()) co_return store_ref.status();
   const daos::Uuid store_uuid = daos::Uuid::from_string_md5(store_ref.value());
-  auto store_cont = co_await with_retry_result<daos::ContHandle>(
+  auto store_cont = co_await retrier_.run_result<daos::ContHandle>(
       [&] { return client_.cont_open(store_uuid); });
   if (!store_cont.is_ok()) co_return store_cont.status();
   handles.store_cont = store_cont.value();
@@ -225,13 +213,13 @@ sim::Task<Status> FieldIo::write(const FieldKey& key, const std::uint8_t* data, 
     if (cached != arrays_.end()) {
       handle = cached->second;
     } else {
-      auto arr = co_await with_retry_result<daos::ArrayHandle>([&] {
+      auto arr = co_await retrier_.run_result<daos::ArrayHandle>([&] {
         return client_.array_create(main_cont_, oid, 1, client_.cluster().model().array_chunk_size);
       });
       if (arr.is_ok()) {
         handle = arr.value();
       } else if (arr.status().code() == Errc::already_exists) {
-        auto opened = co_await with_retry_result<daos::ArrayHandle>(
+        auto opened = co_await retrier_.run_result<daos::ArrayHandle>(
             [&] { return client_.array_open(main_cont_, oid); });
         if (!opened.is_ok()) co_return opened.status();
         handle = opened.value();
@@ -241,7 +229,7 @@ sim::Task<Status> FieldIo::write(const FieldKey& key, const std::uint8_t* data, 
       arrays_.emplace(oid, handle);
     }
     const Status written =
-        co_await with_retry([&] { return client_.array_write(handle, 0, data, len); });
+        co_await retrier_.run([&] { return client_.array_write(handle, 0, data, len); });
     if (!written.is_ok()) co_return written;
     ++stats_.fields_written;
     stats_.bytes_written += len;
@@ -254,20 +242,20 @@ sim::Task<Status> FieldIo::write(const FieldKey& key, const std::uint8_t* data, 
 
   // Write the field into a new Array in the forecast store container...
   const daos::ObjectId oid = next_array_oid();
-  auto arr = co_await with_retry_result<daos::ArrayHandle>([&] {
+  auto arr = co_await retrier_.run_result<daos::ArrayHandle>([&] {
     return client_.array_create(handles.store_cont, oid, 1, client_.cluster().model().array_chunk_size);
   });
   if (!arr.is_ok()) co_return arr.status();
   auto handle = arr.value();
   const Status written =
-      co_await with_retry([&] { return client_.array_write(handle, 0, data, len); });
+      co_await retrier_.run([&] { return client_.array_write(handle, 0, data, len); });
   co_await client_.array_close(handle);
   if (!written.is_ok()) co_return written;
 
   // ...then index it (replacing any previous reference: the old Array is
   // de-referenced, never deleted).
   const std::string field_entry = key.least_significant();
-  const Status indexed = co_await with_retry(
+  const Status indexed = co_await retrier_.run(
       [&] { return client_.kv_put(handles.index_kv, field_entry, oid_to_string(oid)); });
   if (!indexed.is_ok()) co_return indexed;
 
@@ -287,13 +275,13 @@ sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, B
     if (cached != arrays_.end()) {
       handle = cached->second;
     } else {
-      auto opened = co_await with_retry_result<daos::ArrayHandle>(
+      auto opened = co_await retrier_.run_result<daos::ArrayHandle>(
           [&] { return client_.array_open(main_cont_, oid); });
       if (!opened.is_ok()) co_return opened.status();
       handle = opened.value();
       arrays_.emplace(oid, handle);
     }
-    auto n = co_await with_retry_result<Bytes>(
+    auto n = co_await retrier_.run_result<Bytes>(
         [&] { return client_.array_read(handle, 0, out, out_len); });
     if (!n.is_ok()) co_return n.status();
     ++stats_.fields_read;
@@ -306,7 +294,7 @@ sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, B
   ForecastHandles& handles = *forecast.value();
 
   const std::string field_entry = key.least_significant();
-  auto ref = co_await with_retry_result<std::string>(
+  auto ref = co_await retrier_.run_result<std::string>(
       [&] { return client_.kv_get(handles.index_kv, field_entry); });
   if (!ref.is_ok()) co_return ref.status();
   auto oid = oid_from_string(ref.value());
@@ -319,13 +307,13 @@ sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, B
   if (cached != arrays_.end()) {
     handle = cached->second;
   } else {
-    auto opened = co_await with_retry_result<daos::ArrayHandle>(
+    auto opened = co_await retrier_.run_result<daos::ArrayHandle>(
         [&] { return client_.array_open(handles.store_cont, oid.value()); });
     if (!opened.is_ok()) co_return opened.status();
     handle = opened.value();
     arrays_.emplace(oid.value(), handle);
   }
-  auto n = co_await with_retry_result<Bytes>(
+  auto n = co_await retrier_.run_result<Bytes>(
       [&] { return client_.array_read(handle, 0, out, out_len); });
   if (!n.is_ok()) co_return n.status();
 

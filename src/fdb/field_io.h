@@ -28,10 +28,10 @@
 #include <string>
 #include <unordered_map>
 
-#include "common/rng.h"
 #include "common/status.h"
 #include "daos/client.h"
 #include "fdb/field_key.h"
+#include "fdb/retry.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -45,24 +45,6 @@ enum class Mode {
 
 const char* mode_name(Mode mode);
 Mode mode_by_name(const std::string& name);
-
-/// Exponential-backoff retry for transient DAOS failures (fault injection:
-/// outage windows, dropped RPCs, transient I/O errors).  Semantic statuses —
-/// not_found, already_exists — are never retried; they drive Algorithm 1/2
-/// control flow.
-struct RetryPolicy {
-  std::size_t max_attempts = 10;
-  sim::Duration initial_backoff = sim::microseconds(500.0);
-  double multiplier = 2.0;
-  sim::Duration max_backoff = sim::milliseconds(20.0);
-  /// Backoff is scaled by uniform([1 - jitter, 1 + jitter)) to de-correlate
-  /// concurrent retriers.
-  double jitter = 0.5;
-
-  [[nodiscard]] static bool retriable(const Status& s) {
-    return s.code() == Errc::unavailable || s.code() == Errc::io_error || s.code() == Errc::timeout;
-  }
-};
 
 struct FieldIoConfig {
   Mode mode = Mode::full;
@@ -134,46 +116,12 @@ class FieldIo {
   [[nodiscard]] daos::ObjectId forecast_kv_oid(const std::string& msk) const;
   [[nodiscard]] daos::ObjectId next_array_oid();
 
-  /// Sleeps the exponential backoff for retry number `attempt` (0-based) and
-  /// accounts the retry in stats_ and the client.
-  sim::Task<void> retry_backoff(std::size_t attempt);
-
-  /// Runs `make()` (a factory producing a fresh Task<Status> per attempt)
-  /// under the retry policy.
-  ///
-  /// LIFETIME: sim::Task coroutines are lazy, so any temporary the lambda
-  /// passes to a *reference* parameter dies when `make()` returns — before
-  /// the task first runs.  Hoist such arguments into named locals in the
-  /// calling coroutine (by-value parameters are copied into the frame at
-  /// construction and are safe).
-  template <typename MakeTask>
-  sim::Task<Status> with_retry(MakeTask make) {
-    for (std::size_t attempt = 0;; ++attempt) {
-      Status st = co_await make();
-      if (st.is_ok() || !RetryPolicy::retriable(st) || attempt + 1 >= config_.retry.max_attempts) {
-        co_return st;
-      }
-      co_await retry_backoff(attempt);
-    }
-  }
-
-  /// As with_retry, for operations returning Result<T>.
-  template <typename T, typename MakeTask>
-  sim::Task<Result<T>> with_retry_result(MakeTask make) {
-    for (std::size_t attempt = 0;; ++attempt) {
-      Result<T> r = co_await make();
-      if (r.is_ok() || !RetryPolicy::retriable(r.status()) ||
-          attempt + 1 >= config_.retry.max_attempts) {
-        co_return r;
-      }
-      co_await retry_backoff(attempt);
-    }
-  }
-
   daos::Client& client_;
   FieldIoConfig config_;
   std::uint32_t rank_;
-  Rng rng_;  // backoff jitter stream (independent of the cluster's streams)
+  /// Drives config_.retry over client_ (see retry.h for the LIFETIME rule
+  /// its lambda factories must respect); counts into stats_.retries.
+  Retrier retrier_;
   std::uint64_t array_counter_ = 0;
 
   bool initialised_ = false;

@@ -1,6 +1,8 @@
 #include "ioserver/ioserver.h"
 
+#include <algorithm>
 #include <deque>
+#include <stdexcept>
 
 #include "common/table.h"
 
@@ -30,23 +32,19 @@ struct ServerState {
 
 struct PipelineState {
   PipelineState(sim::Scheduler& sched, std::size_t servers, std::size_t producers)
-      : producers_remaining(sched, producers) {
+      : producers_remaining(sched, producers), servers_remaining(sched, servers) {
     for (std::size_t i = 0; i < servers; ++i) {
       server_states.push_back(std::make_unique<ServerState>(sched));
     }
   }
   std::vector<std::unique_ptr<ServerState>> server_states;
   sim::CountDownLatch producers_remaining;
+  sim::CountDownLatch servers_remaining;
   PipelineResult result;
+  sim::TimePoint start = 0;
+  bool finished = false;
+  std::function<void()> on_done;
 };
-
-fdb::FieldKey pipeline_key(std::uint32_t step, std::uint32_t field) {
-  fdb::FieldKey key;
-  key.set("class", "od").set("stream", "oper").set("date", "20260705").set("time", "0000");
-  key.set("step", std::to_string(step));
-  key.set("param", std::to_string(field));
-  return key;
-}
 
 std::size_t server_for_field(std::uint32_t step, std::uint32_t field, std::size_t servers) {
   return (static_cast<std::size_t>(step) * 131 + field) % servers;
@@ -127,8 +125,8 @@ sim::Task<void> io_server(daos::Cluster& cluster, const PipelineConfig cfg, Pipe
         sim::transfer_time(static_cast<double>(field.bytes), cfg.encode_rate));
 
     const sim::TimePoint t0 = cluster.scheduler().now();
-    const Status stored =
-        co_await io.write(pipeline_key(field.step, field.index), nullptr, field.bytes);
+    const fdb::FieldKey key = pipeline_key(field.step, field.index);
+    const Status stored = co_await io.write(key, nullptr, field.bytes);
     if (!stored.is_ok()) {
       if (!state.result.failed) {
         state.result.failed = true;
@@ -141,7 +139,11 @@ sim::Task<void> io_server(daos::Cluster& cluster, const PipelineConfig cfg, Pipe
                                   cluster.scheduler().now(), field.bytes);
     ++state.result.fields_stored;
     --inbox.outstanding;
+    if (cfg.on_field_stored) cfg.on_field_stored(key, field.bytes);
   }
+  state.result.client_stats += client.stats();
+  state.result.field_stats += io.stats();
+  state.servers_remaining.count_down();
 }
 
 /// Signals server shutdown once every model process has finished producing.
@@ -153,23 +155,56 @@ sim::Task<void> conductor(PipelineState& state) {
   }
 }
 
+/// Joins the I/O servers: seals the result and fires the completion hook.
+sim::Task<void> pipeline_watcher(daos::Cluster& cluster, PipelineState& state) {
+  co_await state.servers_remaining.wait();
+  state.result.makespan = cluster.scheduler().now() - state.start;
+  state.finished = true;
+  if (state.on_done) state.on_done();
+}
+
 }  // namespace
 
-PipelineResult run_pipeline(daos::Cluster& cluster, const PipelineConfig& config) {
+fdb::FieldKey pipeline_key(std::uint32_t step, std::uint32_t field) {
+  fdb::FieldKey key;
+  key.set("class", "od").set("stream", "oper").set("date", "20260705").set("time", "0000");
+  key.set("step", std::to_string(step));
+  key.set("param", std::to_string(field));
+  return key;
+}
+
+struct PipelineRun::Impl {
+  Impl(daos::Cluster& cluster, PipelineConfig config)
+      : cluster(cluster),
+        config(std::move(config)),
+        state(cluster.scheduler(), std::max<std::size_t>(1, this->config.io_servers),
+              std::max<std::size_t>(1, this->config.model_processes)) {}
+  daos::Cluster& cluster;
+  PipelineConfig config;
+  PipelineState state;
+  bool spawned = false;
+};
+
+PipelineRun::PipelineRun(daos::Cluster& cluster, PipelineConfig config)
+    : impl_(std::make_unique<Impl>(cluster, std::move(config))) {}
+
+PipelineRun::~PipelineRun() = default;
+
+Status PipelineRun::spawn(std::function<void()> on_done) {
+  if (impl_->spawned) throw std::logic_error("PipelineRun::spawn called twice");
+  const PipelineConfig& config = impl_->config;
   if (config.io_servers == 0 || config.model_processes == 0) {
-    PipelineResult bad;
-    bad.failed = true;
-    bad.failure = "pipeline needs at least one model process and one I/O server";
-    return bad;
+    return Status::error(Errc::invalid,
+                         "pipeline needs at least one model process and one I/O server");
   }
   if (config.field_size / config.model_processes == 0) {
-    PipelineResult bad;
-    bad.failed = true;
-    bad.failure = "field size smaller than one part per model process";
-    return bad;
+    return Status::error(Errc::invalid, "field size smaller than one part per model process");
   }
-
-  PipelineState state(cluster.scheduler(), config.io_servers, config.model_processes);
+  impl_->spawned = true;
+  daos::Cluster& cluster = impl_->cluster;
+  PipelineState& state = impl_->state;
+  state.on_done = std::move(on_done);
+  state.start = cluster.scheduler().now();
   for (std::size_t s = 0; s < config.io_servers; ++s) {
     cluster.scheduler().spawn(io_server(cluster, config, state, s));
   }
@@ -177,11 +212,25 @@ PipelineResult run_pipeline(daos::Cluster& cluster, const PipelineConfig& config
     cluster.scheduler().spawn(model_process(cluster, config, state, m));
   }
   cluster.scheduler().spawn(conductor(state));
+  cluster.scheduler().spawn(pipeline_watcher(cluster, state));
+  return Status::ok();
+}
 
-  const sim::TimePoint start = cluster.scheduler().now();
+bool PipelineRun::finished() const { return impl_->state.finished; }
+
+PipelineResult& PipelineRun::result() { return impl_->state.result; }
+
+PipelineResult run_pipeline(daos::Cluster& cluster, const PipelineConfig& config) {
+  PipelineRun run(cluster, config);
+  const Status spawned = run.spawn();
+  if (!spawned.is_ok()) {
+    PipelineResult bad;
+    bad.failed = true;
+    bad.failure = spawned.message();
+    return bad;
+  }
   cluster.scheduler().run();
-  state.result.makespan = cluster.scheduler().now() - start;
-  return state.result;
+  return std::move(run.result());
 }
 
 }  // namespace nws::ioserver

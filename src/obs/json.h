@@ -4,8 +4,9 @@
 // round-trippable number formatting) used by the trace and report exporters.
 // JsonValue/parse_json is a small recursive-descent DOM parser used by the
 // schema round-trip tests and the obs_lint artifact validator; it is NOT a
-// general-purpose parser (no \uXXXX surrogate pairs beyond the BMP, no
-// detection of duplicate keys) but accepts everything the writer emits.
+// general-purpose parser (no detection of duplicate keys) but accepts
+// everything the writer emits, including \uXXXX surrogate pairs beyond the
+// BMP (decoded to UTF-8; unpaired surrogates are rejected).
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,7 @@
 
 #include "daos/client.h"
 #include "daos/cluster.h"
+#include "fault/fault_plan.h"
 #include "fdb/catalogue.h"
 #include "fdb/field_io.h"
 
@@ -132,6 +133,76 @@ TEST(CatalogueTest, UnknownForecastFails) {
     EXPECT_EQ(missing.status().code(), Errc::not_found);
     EXPECT_TRUE((co_await catalogue.list_forecasts()).value().empty());
   });
+}
+
+TEST(CatalogueChaosTest, ListingAndPurgeSurviveInjectedFaults) {
+  // Catalogue operations run under the same retry policy as FieldIo, so
+  // administrative sweeps complete despite dropped RPCs, transient errors
+  // and target outage/slowdown windows (all seeded, hence reproducible).
+  sim::Scheduler sched;
+  daos::ClusterConfig cfg;
+  cfg.server_nodes = 1;
+  cfg.client_nodes = 1;
+  cfg.payload_mode = daos::PayloadMode::digest;
+  cfg.fault_spec = fault::FaultSpec::default_chaos(11);
+  cfg.fault_spec.rpc_drop_rate = 0.05;
+  cfg.fault_spec.transient_error_rate = 0.1;
+  daos::Cluster cluster(sched, cfg);
+  sched.spawn([](daos::Cluster& cl) -> sim::Task<void> {
+    daos::Client client(cl, cl.client_endpoint(0, 0), 0);
+    const FieldIoConfig cfg;  // full mode: purge supported
+    FieldIo io(client, cfg, 0);
+    (co_await io.init()).expect_ok("init");
+    // Forecast 1: three fields, each written twice (one orphan per field).
+    for (int gen = 0; gen < 2; ++gen) {
+      for (int step = 0; step < 3; ++step) {
+        (co_await io.write(key_for("20260701", step), nullptr, 1_MiB)).expect_ok("write");
+      }
+    }
+    // Forecast 2: two fields, no re-writes.
+    for (int step = 0; step < 2; ++step) {
+      (co_await io.write(key_for("20260702", step), nullptr, 2_MiB)).expect_ok("write");
+    }
+
+    Catalogue catalogue(client, cfg);
+    (co_await catalogue.init()).expect_ok("catalogue init");
+    const auto forecasts = co_await catalogue.list_forecasts();
+    EXPECT_TRUE(forecasts.is_ok()) << forecasts.status().to_string();
+    if (!forecasts.is_ok()) co_return;
+    EXPECT_EQ(forecasts.value().size(), 2u);
+    std::string rewritten;
+    for (const ForecastEntry& f : forecasts.value()) {
+      if (f.forecast_key.find("20260701") != std::string::npos) {
+        rewritten = f.forecast_key;
+        EXPECT_EQ(f.field_count, 3u);
+        EXPECT_EQ(f.total_bytes, 3_MiB);  // live generations only, sizes intact
+      } else {
+        EXPECT_EQ(f.field_count, 2u);
+        EXPECT_EQ(f.total_bytes, 4_MiB);
+      }
+    }
+    EXPECT_FALSE(rewritten.empty());
+    if (rewritten.empty()) co_return;
+    const auto fields = co_await catalogue.list_fields(rewritten);
+    EXPECT_TRUE(fields.is_ok()) << fields.status().to_string();
+    if (fields.is_ok()) EXPECT_EQ(fields.value().size(), 3u);
+
+    // Purge reclaims exactly the orphaned generations, faults notwithstanding.
+    const auto purged = co_await catalogue.purge(rewritten);
+    EXPECT_TRUE(purged.is_ok()) << purged.status().to_string();
+    if (!purged.is_ok()) co_return;
+    EXPECT_EQ(purged.value().arrays_destroyed, 3u);
+    EXPECT_EQ(purged.value().bytes_reclaimed, 3_MiB);
+    // Idempotent: a second purge finds nothing left to destroy.
+    const auto again = co_await catalogue.purge(rewritten);
+    EXPECT_TRUE(again.is_ok()) << again.status().to_string();
+    if (again.is_ok()) EXPECT_EQ(again.value().arrays_destroyed, 0u);
+
+    // The chaos actually bit: operations were re-driven by the retry layer.
+    EXPECT_GT(client.stats().op_retries, 0u);
+    EXPECT_GT(catalogue.retries(), 0u);
+  }(cluster));
+  sched.run();
 }
 
 }  // namespace

@@ -216,6 +216,34 @@ TEST(JsonTest, ParserHandlesEscapesAndUnicode) {
   EXPECT_EQ(v.str, "a\xc3\xa9\"\\\n");
 }
 
+TEST(JsonTest, ParserDecodesSurrogatePairsBeyondTheBmp) {
+  // U+1F600 escaped as the surrogate pair 😀 -> 4-byte UTF-8.
+  const JsonValue v = parse_json("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.str, "\xF0\x9F\x98\x80");
+  // BMP escapes keep working alongside pairs.
+  const JsonValue mixed = parse_json("\"x\\u00e9\\ud83d\\ude00y\"");
+  EXPECT_EQ(mixed.str, "x\xC3\xA9\xF0\x9F\x98\x80y");
+}
+
+TEST(JsonTest, SurrogatePairsSurviveAWriteParseRoundTrip) {
+  // The writer passes raw UTF-8 through; the parser's decoded pair must be
+  // byte-identical after re-serialising.
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.value("grinning: \xF0\x9F\x98\x80");
+  }
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.str, "grinning: \xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, ParserRejectsUnpairedSurrogates) {
+  EXPECT_THROW(parse_json("\"\\ud83d\""), std::runtime_error);        // lone high
+  EXPECT_THROW(parse_json("\"\\ud83dxy\""), std::runtime_error);      // high, no escape after
+  EXPECT_THROW(parse_json("\"\\ud83d\\u0041\""), std::runtime_error); // high + non-low
+  EXPECT_THROW(parse_json("\"\\ude00\""), std::runtime_error);        // lone low
+}
+
 // ---- metrics ----------------------------------------------------------------
 
 TEST(MetricsTest, CountersAddGaugesMaxHistogramsAppend) {
