@@ -27,6 +27,13 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// Span names of the epoch subsystem (daos::Client epoch operations) — a
+/// typo'd or ad-hoc epoch span is an accounting bug, not a new feature.
+bool known_epoch_span(const std::string& name) {
+  return name == "epoch.commit" || name == "epoch.snapshot" || name == "epoch.snapshot_close" ||
+         name == "epoch.query";
+}
+
 /// Throws std::runtime_error with a diagnostic on the first violation.
 void lint_trace(const JsonValue& doc) {
   if (!doc.is_object()) throw std::runtime_error("top level is not an object");
@@ -48,6 +55,11 @@ void lint_trace(const JsonValue& doc) {
     if (ph->str == "M") continue;  // process_name metadata
     if (ph->str != "X") throw std::runtime_error(at + " has unexpected ph " + ph->str);
     ++spans;
+    const JsonValue* name = ev.find("name");
+    if (name != nullptr && name->is_string() && name->str.rfind("epoch.", 0) == 0 &&
+        !known_epoch_span(name->str)) {
+      throw std::runtime_error(at + " has unknown epoch span name " + name->str);
+    }
     const JsonValue* ts = ev.find("ts");
     const JsonValue* dur = ev.find("dur");
     const JsonValue* tid = ev.find("tid");
@@ -99,6 +111,58 @@ void lint_report(const JsonValue& doc) {
     const JsonValue* kind = metric.find("kind");
     if (!metric.is_object() || kind == nullptr || !kind->is_string()) {
       throw std::runtime_error("metric " + name + " has no kind");
+    }
+  }
+
+  // The epoch.* namespace (docs/EPOCHS.md) is a closed accounting scheme:
+  // every name has a fixed kind, and the counters must be mutually
+  // consistent — malformed epoch accounting fails the artifact stage.
+  const auto epoch_value = [&](const char* name, bool* present = nullptr) -> double {
+    const JsonValue* metric = metrics->find(name);
+    if (present != nullptr) *present = metric != nullptr;
+    if (metric == nullptr) return 0.0;
+    const JsonValue* value = metric->find("value");
+    if (value == nullptr || !value->is_number()) {
+      throw std::runtime_error(std::string("metric ") + name + " has no numeric value");
+    }
+    return value->number;
+  };
+  bool any_epoch = false;
+  for (const auto& [name, metric] : metrics->object) {
+    if (name.rfind("epoch.", 0) != 0) continue;
+    any_epoch = true;
+    const char* expected_kind = nullptr;
+    if (name == "epoch.commits" || name == "epoch.snapshots_opened" ||
+        name == "epoch.snapshots_released" || name == "epoch.cow_bytes" ||
+        name == "epoch.versions_pruned" || name == "epoch.bytes_reclaimed") {
+      expected_kind = "counter";
+    } else if (name == "epoch.live_versions" || name == "epoch.live_version_bytes" ||
+               name == "epoch.retention_depth") {
+      expected_kind = "gauge";
+    } else {
+      throw std::runtime_error("unknown epoch metric " + name);
+    }
+    const JsonValue* kind = metric.find("kind");
+    if (kind->str != expected_kind) {
+      throw std::runtime_error("epoch metric " + name + " has kind " + kind->str + ", expected " +
+                               expected_kind);
+    }
+    const JsonValue* value = metric.find("value");
+    if (value == nullptr || !value->is_number() || value->number < 0.0) {
+      throw std::runtime_error("epoch metric " + name + " has no non-negative value");
+    }
+  }
+  if (any_epoch) {
+    bool has_commits = false;
+    const double commits = epoch_value("epoch.commits", &has_commits);
+    if (!has_commits || commits <= 0.0) {
+      throw std::runtime_error("epoch.* metrics present but epoch.commits is missing or zero");
+    }
+    if (epoch_value("epoch.snapshots_released") > epoch_value("epoch.snapshots_opened")) {
+      throw std::runtime_error("epoch.snapshots_released exceeds epoch.snapshots_opened");
+    }
+    if (epoch_value("epoch.bytes_reclaimed") > 0.0 && epoch_value("epoch.versions_pruned") <= 0.0) {
+      throw std::runtime_error("epoch.bytes_reclaimed without epoch.versions_pruned");
     }
   }
   std::cout << "report ok: bench " << bench->str << ", " << tables->array.size() << " tables, "

@@ -9,7 +9,12 @@
 # --trace/--report and validate both JSON artifacts with obs_lint, so a
 # schema regression in the observability layer fails CI, not Perfetto.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only] [--jobs N]
+# A coverage stage (--coverage-only, or part of the full run) rebuilds with
+# -DNWS_COVERAGE=ON, reruns the test suite and enforces the per-directory
+# line-coverage floor in scripts/coverage_baseline.txt via scripts/coverage.py
+# (plain gcov JSON + python3 stdlib; no gcovr dependency).
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--coverage-only] [--jobs N]
 #
 # --jobs / -j (or NWS_JOBS) sets both the build parallelism and the
 # experiment-sweep parallelism inside the test binaries; 0 or unset means
@@ -22,14 +27,16 @@ jobs="${NWS_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 run_plain=1
 run_sanitize=1
 run_tsan=1
+run_coverage=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --plain-only) run_sanitize=0; run_tsan=0 ;;
-    --sanitize-only) run_plain=0; run_tsan=0 ;;
-    --tsan-only) run_plain=0; run_sanitize=0 ;;
+    --plain-only) run_sanitize=0; run_tsan=0; run_coverage=0 ;;
+    --sanitize-only) run_plain=0; run_tsan=0; run_coverage=0 ;;
+    --tsan-only) run_plain=0; run_sanitize=0; run_coverage=0 ;;
+    --coverage-only) run_plain=0; run_sanitize=0; run_tsan=0 ;;
     --jobs|-j) shift; jobs="${1:?--jobs needs a value}" ;;
     --jobs=*) jobs="${1#--jobs=}" ;;
-    *) echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only|--coverage-only] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -55,6 +62,13 @@ check_artifacts() {
     --trace="$scratch/micro.trace.json" --report="$scratch/micro.report.json" >/dev/null
   "$build_dir"/bench/obs_lint --trace="$scratch/micro.trace.json" \
     --report="$scratch/micro.report.json"
+  # The snapshot bench exercises the epoch.* span/metric namespace, which
+  # obs_lint validates as a closed scheme (kinds, names, cross-checks).
+  echo "==> artifact check ($build_dir, fig_snapshot_rw --trace/--report)"
+  "$build_dir"/bench/fig_snapshot_rw --quick --reps=1 \
+    --trace="$scratch/snap.trace.json" --report="$scratch/snap.report.json" >/dev/null
+  "$build_dir"/bench/obs_lint --trace="$scratch/snap.trace.json" \
+    --report="$scratch/snap.report.json"
   rm -rf "$scratch"
 }
 
@@ -79,7 +93,7 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "==> TSan build (build-tsan/, -fsanitize=thread): run pool + chaos sweep"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DNWS_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test fig6_objclass_size micro_components obs_lint
+  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test fig6_objclass_size micro_components fig_snapshot_rw obs_lint
   # The pool tests pin their own thread counts; the chaos sweep runs a
   # reduced scenario count (TSan is ~10x slower) across all hardware threads
   # to actually exercise cross-thread stealing.  StatsRaceTest hammers the
@@ -90,6 +104,16 @@ if [[ $run_tsan -eq 1 ]]; then
   TSAN_OPTIONS=halt_on_error=1 NWS_CHAOS_COUNT=24 NWS_JOBS=0 \
     ./build-tsan/tests/chaos_test
   TSAN_OPTIONS=halt_on_error=1 check_artifacts build-tsan
+fi
+
+if [[ $run_coverage -eq 1 ]]; then
+  echo "==> coverage build (build-coverage/, -DNWS_COVERAGE=ON): line-coverage floor"
+  cmake -B build-coverage -S . -DCMAKE_BUILD_TYPE=Debug -DNWS_COVERAGE=ON
+  cmake --build build-coverage -j "$jobs"
+  # Stale counters from a previous run would inflate coverage.
+  find build-coverage -name '*.gcda' -delete
+  NWS_JOBS="$jobs" ctest --test-dir build-coverage --output-on-failure -j "$jobs"
+  python3 scripts/coverage.py build-coverage
 fi
 
 echo "==> all checks passed"

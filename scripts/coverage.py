@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and enforce the per-directory baseline.
+
+Usage: scripts/coverage.py <build-dir> [--baseline scripts/coverage_baseline.txt]
+
+Walks <build-dir> for .gcda counter files (produced by a test run of an
+NWS_COVERAGE=ON build), asks gcov for machine-readable JSON per translation
+unit (`gcov --json-format --stdout`; gcovr is deliberately not a dependency),
+sums execution counts per source line across all translation units, and
+reports line coverage for each directory listed in the baseline file.
+
+The baseline file has one `<directory> <min-percent>` pair per line
+(comments with '#').  Coverage below the baseline fails the script — the
+floor only ratchets up: when a PR raises coverage, raise the baseline with
+it.  Override the gcov binary with GCOV=gcov-12 when the compiler was g++-12.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def parse_baseline(path):
+    baseline = {}
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            directory, minimum = line.split()
+            baseline[directory.rstrip("/")] = float(minimum)
+    return baseline
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                # Absolute: gcov runs with cwd=build_dir, not the repo root.
+                yield os.path.abspath(os.path.join(root, name))
+
+
+def gcov_json(gcov, gcda_paths, build_dir):
+    """Yields one parsed gcov JSON document per translation unit."""
+    # Batched invocations: one process per ~64 files keeps this fast without
+    # hitting argv limits.  --stdout emits one JSON document per line.
+    for start in range(0, len(gcda_paths), 64):
+        batch = gcda_paths[start : start + 64]
+        proc = subprocess.run(
+            [gcov, "--json-format", "--stdout"] + batch,
+            cwd=build_dir,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            check=True,
+            text=True,
+        )
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.startswith("{"):
+                yield json.loads(line)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    build_dir = sys.argv[1]
+    baseline_path = "scripts/coverage_baseline.txt"
+    if len(sys.argv) >= 4 and sys.argv[2] == "--baseline":
+        baseline_path = sys.argv[3]
+    baseline = parse_baseline(baseline_path)
+    gcov = os.environ.get("GCOV", "gcov")
+
+    gcda = sorted(find_gcda(build_dir))
+    if not gcda:
+        print(f"coverage: no .gcda files under {build_dir} — "
+              "configure with -DNWS_COVERAGE=ON and run the tests first", file=sys.stderr)
+        return 1
+
+    # (relative source path, line) -> summed execution count.
+    counts = {}
+    repo = os.path.abspath(os.path.dirname(os.path.dirname(__file__)))
+    for doc in gcov_json(gcov, gcda, build_dir):
+        for entry in doc.get("files", []):
+            path = entry["file"]
+            if not os.path.isabs(path):
+                path = os.path.join(build_dir, path)
+            rel = os.path.relpath(os.path.abspath(path), repo)
+            if rel.startswith(".."):
+                continue  # system or third-party header
+            for line in entry.get("lines", []):
+                key = (rel, line["line_number"])
+                counts[key] = counts.get(key, 0) + int(line["count"])
+
+    failed = False
+    print(f"{'directory':<12} {'lines':>7} {'covered':>8} {'coverage':>9} {'baseline':>9}")
+    for directory in sorted(baseline):
+        prefix = directory.rstrip("/") + "/"
+        total = sum(1 for (rel, _line) in counts if rel.startswith(prefix))
+        covered = sum(1 for (rel, _line), n in counts.items() if rel.startswith(prefix) and n > 0)
+        if total == 0:
+            print(f"coverage: no instrumented lines under {directory}", file=sys.stderr)
+            failed = True
+            continue
+        percent = 100.0 * covered / total
+        verdict = "ok" if percent >= baseline[directory] else "BELOW BASELINE"
+        print(f"{directory:<12} {total:>7} {covered:>8} {percent:>8.1f}% {baseline[directory]:>8.1f}% {verdict}")
+        if percent < baseline[directory]:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

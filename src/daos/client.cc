@@ -70,17 +70,58 @@ sim::Task<ContHandle> Client::main_cont_open() {
   co_return ContHandle{&cluster_.main_container()};
 }
 
+sim::Task<Result<Epoch>> Client::cont_commit(ContHandle& handle) {
+  obs::Span span("epoch.commit", "epoch", actor_, trace_iteration_);
+  if (!handle.valid()) throw std::logic_error("cont_commit on closed container handle");
+  if (handle.pinned()) co_return Status::error(Errc::invalid, "commit on a snapshot handle");
+  co_await rpc(0, cluster_.model().epoch_commit_overhead);
+  if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
+  ++stats_.epoch_commits;
+  co_return handle.container->commit();
+}
+
+sim::Task<Result<ContHandle>> Client::cont_snapshot(ContHandle handle, Epoch epoch) {
+  obs::Span span("epoch.snapshot", "epoch", actor_, trace_iteration_);
+  if (!handle.valid()) throw std::logic_error("cont_snapshot on closed container handle");
+  co_await rpc(0, cluster_.model().epoch_snapshot_overhead);
+  if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
+  auto opened = handle.container->snapshot_open(epoch);
+  if (!opened.is_ok()) co_return opened.status();
+  ++stats_.epoch_snapshots;
+  co_return ContHandle{handle.container, opened.value()};
+}
+
+sim::Task<Status> Client::snapshot_close(ContHandle& handle) {
+  obs::Span span("epoch.snapshot_close", "epoch", actor_, trace_iteration_);
+  if (!handle.valid()) throw std::logic_error("snapshot_close on closed container handle");
+  if (!handle.pinned()) co_return Status::error(Errc::invalid, "snapshot_close on a live handle");
+  handle.container->snapshot_close(handle.epoch);
+  handle.container = nullptr;
+  handle.epoch = kEpochLatest;
+  co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
+  co_return Status::ok();
+}
+
+sim::Task<Result<Epoch>> Client::cont_committed_epoch(ContHandle& handle) {
+  obs::Span span("epoch.query", "epoch", actor_, trace_iteration_);
+  if (!handle.valid()) throw std::logic_error("cont_committed_epoch on closed container handle");
+  co_await rpc(0, cluster_.model().kv_op_overhead);
+  if (Status fault = co_await fault_check(0); !fault.is_ok()) co_return fault;
+  co_return handle.container->committed_epoch();
+}
+
 sim::Task<KvHandle> Client::kv_open(ContHandle cont, const ObjectId& oid) {
   obs::Span span("kv_open", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("kv_open on closed container handle");
   // Object open is a client-local handle operation in DAOS.
   co_await cluster_.scheduler().delay(cluster_.model().handle_close_overhead);
-  co_return KvHandle{cont.container, oid, &cont.container->kv(oid)};
+  co_return KvHandle{cont.container, oid, &cont.container->kv(oid), cont.epoch};
 }
 
 sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::string value) {
   obs::Span span("kv_put", "daos", actor_, trace_iteration_, static_cast<double>(value.size()));
   if (!handle.valid()) throw std::logic_error("kv_put on closed handle");
+  if (handle.pinned()) co_return Status::error(Errc::invalid, "kv_put through a snapshot handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
   co_await rpc(shard, m.kv_op_overhead);
@@ -106,7 +147,7 @@ sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::
   co_await handle.kv->object_lock().lock();
   co_await cluster_.scheduler().delay(
       static_cast<sim::Duration>(static_cast<double>(m.kv_put_serial) * jitter()));
-  handle.kv->put(key, std::move(value));
+  handle.kv->put(key, std::move(value), handle.container->write_epoch());
   handle.kv->note_update(cluster_.scheduler().now());
   handle.kv->object_lock().unlock();
   handle.kv->writer_exit();
@@ -146,19 +187,20 @@ sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::strin
   handle.kv->reader_exit();
 
   ++stats_.kv_gets;
-  co_return handle.kv->get(key);
+  co_return handle.kv->get(key, handle.epoch);
 }
 
 sim::Task<Status> Client::kv_remove(KvHandle& handle, const std::string& key) {
   obs::Span span("kv_remove", "daos", actor_, trace_iteration_);
   if (!handle.valid()) throw std::logic_error("kv_remove on closed handle");
+  if (handle.pinned()) co_return Status::error(Errc::invalid, "kv_remove through a snapshot handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
   co_await rpc(shard, m.kv_op_overhead);
   if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   co_await handle.kv->object_lock().lock();
   co_await cluster_.scheduler().delay(m.kv_put_serial);
-  const Status st = handle.kv->remove(key);
+  const Status st = handle.kv->remove(key, handle.container->write_epoch());
   handle.kv->object_lock().unlock();
   co_return st;
 }
@@ -167,7 +209,7 @@ sim::Task<std::vector<std::string>> Client::kv_list(KvHandle& handle) {
   if (!handle.valid()) throw std::logic_error("kv_list on closed handle");
   const ModelConfig& m = cluster_.model();
   // Enumeration walks every shard; cost scales with entry count.
-  const auto keys = handle.kv->list();
+  const auto keys = handle.kv->list(handle.epoch);
   const auto per_key = sim::microseconds(2.0);
   co_await rpc(cluster_.shard_for_key(handle.oid, ""), m.kv_op_overhead);
   co_await cluster_.scheduler().delay(static_cast<sim::Duration>(keys.size()) * per_key);
@@ -184,6 +226,7 @@ sim::Task<Result<ArrayHandle>> Client::array_create(ContHandle cont, const Objec
                                                     Bytes chunk_size) {
   obs::Span span("array_create", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("array_create on closed container handle");
+  if (cont.pinned()) co_return Status::error(Errc::invalid, "array_create on a snapshot handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
   co_await rpc(lead, m.array_create_overhead);
@@ -203,7 +246,11 @@ sim::Task<Result<ArrayHandle>> Client::array_open(ContHandle cont, const ObjectI
   if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   auto opened = cont.container->open_array(oid);
   if (!opened.is_ok()) co_return opened.status();
-  co_return ArrayHandle{cont.container, oid, opened.value(), lead};
+  // A pinned container only exposes arrays that existed at the snapshot.
+  if (cont.pinned() && !opened.value()->exists_at(cont.epoch)) {
+    co_return Status::error(Errc::not_found, "array not in snapshot epoch: " + oid.to_string());
+  }
+  co_return ArrayHandle{cont.container, oid, opened.value(), lead, cont.epoch};
 }
 
 std::vector<std::pair<std::size_t, Bytes>> Client::shard_extents(const ObjectId& oid, Bytes offset,
@@ -290,6 +337,7 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
                                       Bytes len) {
   obs::Span span("array_write", "daos", actor_, trace_iteration_, static_cast<double>(len));
   if (!handle.valid()) throw std::logic_error("array_write on closed handle");
+  if (handle.pinned()) co_return Status::error(Errc::invalid, "array_write through a snapshot handle");
   if (len == 0) co_return Status::ok();
   const ModelConfig& m = cluster_.model();
   const auto extents = shard_extents(handle.oid, offset, len);
@@ -310,15 +358,32 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
     handle.array->note_allocation(charged.value().first, charged.value().second);
   }
 
+  // Epoch placement: the write lands at the container's pending epoch.  If
+  // it supersedes a retained committed version (retention window or open
+  // snapshots), the server copies that version first — the write
+  // amplification the retention policy trades for time-travel reads.
+  const Epoch write_epoch = handle.container->write_epoch();
+  const bool retain = handle.container->retains_superseded();
+
   handle.container->array_io_enter(/*is_write=*/true);
   if (m.array_conflict_serialization) {
     co_await handle.array->object_lock().lock();
+    const Bytes cow = handle.array->pending_cow_bytes(write_epoch, retain);
+    if (cow > 0) {
+      co_await cluster_.flows().transfer(
+          cluster_.service_path(handle.lead_target, /*is_write=*/true), cow);
+    }
     co_await run_data_flows(extents, /*is_write=*/true);
-    handle.array->write(offset, data, len);
+    handle.array->write(offset, data, len, write_epoch, retain);
     handle.array->object_lock().unlock();
   } else {
+    const Bytes cow = handle.array->pending_cow_bytes(write_epoch, retain);
+    if (cow > 0) {
+      co_await cluster_.flows().transfer(
+          cluster_.service_path(handle.lead_target, /*is_write=*/true), cow);
+    }
     co_await run_data_flows(extents, /*is_write=*/true);
-    handle.array->write(offset, data, len);
+    handle.array->write(offset, data, len, write_epoch, retain);
   }
   handle.container->array_io_exit(/*is_write=*/true, cluster_.scheduler().now());
 
@@ -334,8 +399,9 @@ sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, s
   if (len == 0) co_return Bytes{0};
   const ModelConfig& m = cluster_.model();
 
-  // Only the bytes that exist are transferred.
-  const Bytes available = handle.array->size() > offset ? handle.array->size() - offset : 0;
+  // Only the bytes that exist (at the handle's epoch) are transferred.
+  const Bytes at_epoch = handle.array->size(handle.epoch);
+  const Bytes available = at_epoch > offset ? at_epoch - offset : 0;
   const Bytes to_read = std::min(len, available);
   if (to_read == 0) co_return Bytes{0};
   const auto extents = shard_extents(handle.oid, offset, to_read);
@@ -354,11 +420,11 @@ sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, s
   if (m.array_conflict_serialization) {
     co_await handle.array->object_lock().lock();
     co_await run_data_flows(extents, /*is_write=*/false);
-    n = handle.array->read(offset, out, to_read);
+    n = handle.array->read(offset, out, to_read, handle.epoch);
     handle.array->object_lock().unlock();
   } else {
     co_await run_data_flows(extents, /*is_write=*/false);
-    n = handle.array->read(offset, out, to_read);
+    n = handle.array->read(offset, out, to_read, handle.epoch);
   }
   handle.container->array_io_exit(/*is_write=*/false, cluster_.scheduler().now());
 
@@ -370,6 +436,7 @@ sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, s
 sim::Task<Status> Client::array_destroy(ContHandle cont, const ObjectId& oid) {
   obs::Span span("array_destroy", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("array_destroy on closed container handle");
+  if (cont.pinned()) co_return Status::error(Errc::invalid, "array_destroy on a snapshot handle");
   const ModelConfig& m = cluster_.model();
   const std::size_t lead = cluster_.placement(oid)[0];
   co_await rpc(lead, m.array_create_overhead);  // punch is create-priced
@@ -385,7 +452,7 @@ sim::Task<Status> Client::array_destroy(ContHandle cont, const ObjectId& oid) {
 sim::Task<Bytes> Client::array_get_size(ArrayHandle& handle) {
   if (!handle.valid()) throw std::logic_error("array_get_size on closed handle");
   co_await rpc(handle.lead_target, cluster_.model().array_open_overhead);
-  co_return handle.array->size();
+  co_return handle.array->size(handle.epoch);
 }
 
 sim::Task<void> Client::array_close(ArrayHandle& handle) {

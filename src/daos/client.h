@@ -30,14 +30,20 @@ struct PoolHandle {
 
 struct ContHandle {
   Container* container = nullptr;
+  /// Snapshot pin: reads through this handle observe exactly this committed
+  /// epoch; kEpochLatest means the live head (uncommitted writes included).
+  Epoch epoch = kEpochLatest;
   [[nodiscard]] bool valid() const { return container != nullptr; }
+  [[nodiscard]] bool pinned() const { return epoch != kEpochLatest; }
 };
 
 struct KvHandle {
   Container* container = nullptr;
   ObjectId oid;
   KvObject* kv = nullptr;
+  Epoch epoch = kEpochLatest;  // inherited from the container handle
   [[nodiscard]] bool valid() const { return kv != nullptr; }
+  [[nodiscard]] bool pinned() const { return epoch != kEpochLatest; }
 };
 
 struct ArrayHandle {
@@ -45,7 +51,9 @@ struct ArrayHandle {
   ObjectId oid;
   ArrayObject* array = nullptr;
   std::size_t lead_target = 0;
+  Epoch epoch = kEpochLatest;  // inherited from the container handle
   [[nodiscard]] bool valid() const { return array != nullptr; }
+  [[nodiscard]] bool pinned() const { return epoch != kEpochLatest; }
 };
 
 /// Per-client operation counters.
@@ -62,6 +70,10 @@ struct ClientStats {
   std::uint64_t rpc_timeouts = 0;
   std::uint64_t transient_errors = 0;
   std::uint64_t op_retries = 0;
+  // Epoch/MVCC observability: commits published and snapshots opened by
+  // this client (container-side accounting lives in daos::EpochStats).
+  std::uint64_t epoch_commits = 0;
+  std::uint64_t epoch_snapshots = 0;
 };
 
 /// Accumulates one process's counters into a run-wide total (harness
@@ -76,6 +88,8 @@ inline ClientStats& operator+=(ClientStats& a, const ClientStats& b) {
   a.rpc_timeouts += b.rpc_timeouts;
   a.transient_errors += b.transient_errors;
   a.op_retries += b.op_retries;
+  a.epoch_commits += b.epoch_commits;
+  a.epoch_snapshots += b.epoch_snapshots;
   return a;
 }
 
@@ -110,6 +124,29 @@ class Client {
 
   /// Opens the pool's main container (always exists).
   sim::Task<ContHandle> main_cont_open();
+
+  // --- epochs ---------------------------------------------------------------
+  // The DAOS epoch model (docs/EPOCHS.md): writes land at the container's
+  // pending epoch; commit publishes them; snapshot handles pin a committed
+  // epoch for torn-read-free reads while later writes stream in.
+
+  /// Publishes the container's pending epoch (daos_cont_commit-alike) and
+  /// aggregates versions past the retention window.  Fails on snapshot
+  /// handles and under injected faults (safe to retry: commit is
+  /// idempotent-adjacent — a retried commit publishes the next epoch).
+  sim::Task<Result<Epoch>> cont_commit(ContHandle& handle);
+
+  /// Opens a snapshot handle pinned at `epoch` (kEpochLatest: the newest
+  /// committed epoch).  Reads through the returned handle — and through
+  /// kv/array handles opened from it — observe exactly that epoch.
+  sim::Task<Result<ContHandle>> cont_snapshot(ContHandle handle, Epoch epoch = kEpochLatest);
+
+  /// Releases a snapshot pin and invalidates the handle.  Local teardown:
+  /// never faults (a leaked pin would wedge retention forever).
+  sim::Task<Status> snapshot_close(ContHandle& handle);
+
+  /// The container's highest committed epoch (0 before any commit).
+  sim::Task<Result<Epoch>> cont_committed_epoch(ContHandle& handle);
 
   // --- Key-Value objects --------------------------------------------------------
   /// Opens (materialising on first use) the KV object `oid` in `cont`.

@@ -38,7 +38,8 @@ Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
   pool_uuid_ = Uuid::from_string_md5("nws:pool");
   const Uuid main_uuid = Uuid::from_string_md5("nws:main-container");
   auto main = std::make_unique<Container>(sched_, main_uuid, /*is_main=*/true,
-                                          config_.model.kv_get_concurrency);
+                                          config_.model.kv_get_concurrency,
+                                          config_.model.epoch_retention_depth);
   main_container_ = main.get();
   containers_.emplace(main_uuid, std::move(main));
 }
@@ -270,9 +271,23 @@ Status Cluster::create_container(const Uuid& uuid) {
     return Status::error(Errc::already_exists, "container exists: " + uuid.to_string());
   }
   containers_.emplace(uuid, std::make_unique<Container>(sched_, uuid, /*is_main=*/false,
-                                                        config_.model.kv_get_concurrency));
+                                                        config_.model.kv_get_concurrency,
+                                                        config_.model.epoch_retention_depth));
   ++containers_created_;
   return Status::ok();
+}
+
+EpochStats Cluster::epoch_stats() const {
+  EpochStats total;
+  for (const auto& [uuid, cont] : containers_) total += cont->epoch_stats();
+  return total;
+}
+
+std::pair<std::uint64_t, Bytes> Cluster::live_versions() const {
+  std::uint64_t versions = 0;
+  Bytes bytes = 0;
+  for (const auto& [uuid, cont] : containers_) cont->count_live(versions, bytes);
+  return {versions, bytes};
 }
 
 Result<Container*> Cluster::open_container(const Uuid& uuid) {

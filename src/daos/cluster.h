@@ -159,6 +159,13 @@ class Cluster {
   /// uuid is md5("nws:main-container")).
   [[nodiscard]] Container& main_container() { return *main_container_; }
 
+  /// Folded epoch/MVCC accounting over every container (docs/EPOCHS.md).
+  [[nodiscard]] EpochStats epoch_stats() const;
+
+  /// Retained object versions pool-wide: (count, logical bytes) — the live
+  /// cost of the retention policy at this instant.
+  [[nodiscard]] std::pair<std::uint64_t, Bytes> live_versions() const;
+
   /// Charges `bytes` of pool space to `target`'s SCM region; returns the
   /// (region, allocation id) pair for later reclamation.
   Result<std::pair<std::size_t, std::uint64_t>> charge_capacity(std::size_t target_index, Bytes bytes);

@@ -144,6 +144,20 @@ struct ModelConfig {
   // on the same object id are mutually exclusive.
   bool array_conflict_serialization = true;
 
+  // --- Epoch / MVCC (mechanism) ---------------------------------------------
+  // DAOS tags every I/O with an epoch and never read-modify-writes
+  // (SNIPPETS.md snippet 2); epoch aggregation merges superseded versions
+  // back into space.  How many committed epochs each container retains
+  // behind the head for snapshot readers: 0 recycles superseded versions in
+  // place (no snapshots, no write amplification), larger depths trade space
+  // and copy-on-write work for longer time-travel reach (docs/EPOCHS.md;
+  // bench/fig_snapshot_rw sweeps this).
+  std::size_t epoch_retention_depth = 2;
+  // Client+server software cost of publishing an epoch (container-level
+  // metadata commit) and of opening a snapshot handle.
+  sim::Duration epoch_commit_overhead = sim::microseconds(500);
+  sim::Duration epoch_snapshot_overhead = sim::microseconds(120);
+
   // --- Stochastics -----------------------------------------------------------
   // Log-space sigma of the per-operation service jitter.  Produces the
   // straggler spread separating the paper's max-of-36-reps (Table 1) from

@@ -5,6 +5,17 @@
 // (or, in digest mode, a size + checksum so multi-terabyte benchmark
 // workloads do not materialise in host memory).  The timing half lives in
 // Client/Cluster.
+//
+// Epoch/MVCC model (docs/EPOCHS.md): DAOS tags every I/O with an epoch in a
+// persistent index and never does read-modify-write (SNIPPETS.md snippet 2).
+// We reproduce the observable semantics: each container carries a
+// monotonically increasing *committed epoch*; writes land at the pending
+// epoch `committed + 1`; `commit()` publishes them.  Objects keep a bounded
+// version chain so a reader pinned to a committed epoch E observes exactly
+// the epoch-E state while later writes stream in.  The retention policy
+// (ModelConfig::epoch_retention_depth) bounds the chain: superseded versions
+// older than the retention window — and not pinned by an open snapshot — are
+// aggregated away (DAOS "epoch aggregation"), reclaiming their space.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +33,13 @@
 
 namespace nws::daos {
 
+/// Container epoch: a monotonically increasing commit counter.  Epoch 0 is
+/// the empty pre-commit state; the first commit publishes epoch 1.
+using Epoch = std::uint64_t;
+
+/// Sentinel epoch: "the newest version, committed or not" (unpinned reads).
+inline constexpr Epoch kEpochLatest = ~0ull;
+
 /// How array payloads are retained.
 enum class PayloadMode {
   full,    // keep every byte (tests, examples)
@@ -31,37 +49,65 @@ enum class PayloadMode {
 /// FNV-1a over a byte range; used for digest-mode payload verification.
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len);
 
+/// Epoch/MVCC accounting for one container; Cluster::epoch_stats() folds the
+/// per-container totals and snapshot_run_metrics emits them as `epoch.*`.
+/// Byte counts are logical (they count payload bytes in digest mode too).
+struct EpochStats {
+  std::uint64_t commits = 0;
+  std::uint64_t snapshots_opened = 0;
+  std::uint64_t snapshots_released = 0;
+  /// Bytes copied into fresh versions by copy-on-write array updates — the
+  /// write-amplification cost of retaining superseded versions.
+  Bytes cow_bytes = 0;
+  std::uint64_t versions_pruned = 0;
+  Bytes bytes_reclaimed = 0;  // logical bytes of aggregated-away versions
+};
+
+inline EpochStats& operator+=(EpochStats& a, const EpochStats& b) {
+  a.commits += b.commits;
+  a.snapshots_opened += b.snapshots_opened;
+  a.snapshots_released += b.snapshots_released;
+  a.cow_bytes += b.cow_bytes;
+  a.versions_pruned += b.versions_pruned;
+  a.bytes_reclaimed += b.bytes_reclaimed;
+  return a;
+}
+
 class KvObject {
  public:
   /// `get_concurrency` bounds simultaneous fetch servicing on the object
-  /// (timing model; see ModelConfig::kv_get_concurrency).
-  explicit KvObject(sim::Scheduler& sched, std::size_t get_concurrency = 4)
-      : object_lock_(sched), get_slots_(sched, get_concurrency) {}
+  /// (timing model; see ModelConfig::kv_get_concurrency).  `stats`, when
+  /// set, receives this object's version-pruning accounting.
+  explicit KvObject(sim::Scheduler& sched, std::size_t get_concurrency = 4,
+                    EpochStats* stats = nullptr)
+      : object_lock_(sched), get_slots_(sched, get_concurrency), stats_(stats) {}
 
-  void put(const std::string& key, std::string value) { entries_[key] = std::move(value); }
+  /// Writes `key` at `epoch`.  Same-epoch updates replace in place (an epoch
+  /// is one atomic unit of visibility); an epoch advance appends a version.
+  void put(const std::string& key, std::string value, Epoch epoch = 1);
 
-  [[nodiscard]] Result<std::string> get(const std::string& key) const {
-    const auto it = entries_.find(key);
-    if (it == entries_.end()) return Status::error(Errc::not_found, "KV key not found: " + key);
-    return it->second;
-  }
+  /// Value of `key` as of `epoch` (newest version at or below it).
+  [[nodiscard]] Result<std::string> get(const std::string& key, Epoch epoch = kEpochLatest) const;
 
-  /// Removes a key; returns not_found if absent.
-  Status remove(const std::string& key) {
-    if (entries_.erase(key) == 0) return Status::error(Errc::not_found, "KV key not found: " + key);
-    return Status::ok();
-  }
+  /// Removes a key at `epoch` by writing a tombstone version; returns
+  /// not_found if the key is absent at the newest state.
+  Status remove(const std::string& key, Epoch epoch = 1);
 
-  [[nodiscard]] bool contains(const std::string& key) const { return entries_.count(key) != 0; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool contains(const std::string& key, Epoch epoch = kEpochLatest) const;
+  [[nodiscard]] std::size_t size(Epoch epoch = kEpochLatest) const;
 
-  /// Keys in lexicographic order (daos_kv_list equivalent).
-  [[nodiscard]] std::vector<std::string> list() const {
-    std::vector<std::string> keys;
-    keys.reserve(entries_.size());
-    for (const auto& [k, v] : entries_) keys.push_back(k);
-    return keys;
-  }
+  /// Keys live at `epoch`, in lexicographic order (daos_kv_list equivalent).
+  [[nodiscard]] std::vector<std::string> list(Epoch epoch = kEpochLatest) const;
+
+  /// Versions currently retained for `key` (0 if absent) — retention bound.
+  [[nodiscard]] std::size_t version_count(const std::string& key) const;
+
+  /// Drops versions superseded at or below `floor` (epoch aggregation): per
+  /// key, the newest version at or below the floor is kept as the base.
+  void prune(Epoch floor);
+
+  /// Adds retained version count / logical bytes to the live-state gauges.
+  void count_live(std::uint64_t& versions, Bytes& bytes) const;
 
   /// Serialises transactional updates on this object (timing model).
   sim::Mutex& object_lock() { return object_lock_; }
@@ -94,36 +140,80 @@ class KvObject {
   [[nodiscard]] sim::TimePoint last_read() const { return last_read_; }
 
  private:
-  std::map<std::string, std::string> entries_;
+  struct Version {
+    Epoch epoch = 1;
+    bool tombstone = false;
+    std::string value;
+  };
+
+  /// Newest version at or below `epoch`, or nullptr (tombstones included —
+  /// the caller distinguishes "deleted here" from "never existed").
+  [[nodiscard]] const Version* find(const std::string& key, Epoch epoch) const;
+
+  std::map<std::string, std::vector<Version>> entries_;
   std::size_t active_readers_ = 0;
   std::size_t active_writers_ = 0;
   sim::TimePoint last_update_ = -1;
   sim::TimePoint last_read_ = -1;
   sim::Mutex object_lock_;
   sim::Semaphore get_slots_;
+  EpochStats* stats_;
 };
 
 class ArrayObject {
  public:
-  ArrayObject(sim::Scheduler& sched, Bytes cell_size, Bytes chunk_size, PayloadMode mode)
-      : cell_size_(cell_size), chunk_size_(chunk_size), mode_(mode), object_lock_(sched) {}
+  ArrayObject(sim::Scheduler& sched, Bytes cell_size, Bytes chunk_size, PayloadMode mode,
+              EpochStats* stats = nullptr)
+      : cell_size_(cell_size), chunk_size_(chunk_size), mode_(mode), object_lock_(sched),
+        stats_(stats) {}
 
   [[nodiscard]] Bytes cell_size() const { return cell_size_; }
   [[nodiscard]] Bytes chunk_size() const { return chunk_size_; }
-  [[nodiscard]] Bytes size() const { return size_; }
+  [[nodiscard]] Bytes size(Epoch epoch = kEpochLatest) const;
 
-  /// Stores `len` bytes at `offset`.  In digest mode only size/checksum are
-  /// retained (whole-object writes keep an exact checksum; partial re-writes
-  /// fold the new bytes into a combined hash).
-  void write(Bytes offset, const std::uint8_t* data, Bytes len);
+  /// Whether any version of this object is visible at `epoch` (an array
+  /// created after a snapshot is absent from it).
+  [[nodiscard]] bool exists_at(Epoch epoch) const;
 
-  /// Reads up to `len` bytes at `offset` into `out` (may be null in digest
-  /// mode); returns the number of bytes read (clamped to the array size).
-  [[nodiscard]] Bytes read(Bytes offset, std::uint8_t* out, Bytes len) const;
+  /// Logical bytes a write at `epoch` would copy into a fresh version: the
+  /// newest version's size when it is older than `epoch` and superseded
+  /// versions are retained; 0 when the write lands in place.
+  [[nodiscard]] Bytes pending_cow_bytes(Epoch epoch, bool retain_superseded) const;
 
-  /// Whole-object checksum: exact FNV-1a of contents in full mode; the
-  /// folded write digest in digest mode.
-  [[nodiscard]] std::uint64_t checksum() const;
+  /// Stores `len` bytes at `offset` in the `epoch` version.  Writing past a
+  /// retained older version copies it first (copy-on-write); with retention
+  /// off the newest version is recycled in place.  Returns the bytes
+  /// actually copied.  In digest mode only size/checksum are retained:
+  /// whole-object writes and pure appends keep an exact checksum; other
+  /// partial re-writes fold the new bytes into a combined hash and the
+  /// version's checksum_exact() turns false.
+  Bytes write(Bytes offset, const std::uint8_t* data, Bytes len, Epoch epoch = 1,
+              bool retain_superseded = false);
+
+  /// Reads up to `len` bytes at `offset` of the `epoch` version into `out`
+  /// (may be null in digest mode); returns the number of bytes read
+  /// (clamped to that version's size).
+  [[nodiscard]] Bytes read(Bytes offset, std::uint8_t* out, Bytes len,
+                           Epoch epoch = kEpochLatest) const;
+
+  /// Whole-object checksum of the `epoch` version: exact FNV-1a of contents
+  /// in full mode; the write digest in digest mode.
+  [[nodiscard]] std::uint64_t checksum(Epoch epoch = kEpochLatest) const;
+
+  /// Whether the `epoch` version's digest-mode checksum equals the exact
+  /// whole-object FNV-1a (full mode: always true for existing versions).
+  /// Versioning keeps committed whole-object digests exact even while a
+  /// later in-flight partial re-write folds its own version inexact.
+  [[nodiscard]] bool checksum_exact(Epoch epoch = kEpochLatest) const;
+
+  /// Versions currently retained (retention bound; 0 before the first write).
+  [[nodiscard]] std::size_t version_count() const { return versions_.size(); }
+
+  /// Drops versions superseded at or below `floor` (epoch aggregation).
+  void prune(Epoch floor);
+
+  /// Adds retained version count / logical bytes to the live-state gauges.
+  void count_live(std::uint64_t& versions, Bytes& bytes) const;
 
   sim::Mutex& object_lock() { return object_lock_; }
 
@@ -137,25 +227,73 @@ class ArrayObject {
   }
 
  private:
+  struct Version {
+    Epoch epoch = 1;
+    Bytes size = 0;
+    std::vector<std::uint8_t> bytes;                  // full mode only
+    std::uint64_t digest = 14695981039346656037ull;   // FNV offset basis
+    bool exact = true;  // digest equals fnv1a(whole object)
+  };
+
+  /// Newest version at or below `epoch`, or nullptr (object absent there).
+  [[nodiscard]] const Version* version_at(Epoch epoch) const;
+
   Bytes cell_size_;
   Bytes chunk_size_;
   PayloadMode mode_;
-  Bytes size_ = 0;
-  std::vector<std::uint8_t> bytes_;  // full mode only
-  std::uint64_t digest_ = 14695981039346656037ull;  // FNV offset basis
+  std::vector<Version> versions_;
   std::vector<std::pair<std::size_t, std::uint64_t>> allocations_;
   sim::Mutex object_lock_;
+  EpochStats* stats_;
 };
 
-/// A DAOS container: a private object address space inside a pool.
+/// A DAOS container: a private object address space inside a pool, carrying
+/// its own epoch state (commit counter, open snapshots, retention policy).
 class Container {
  public:
-  Container(sim::Scheduler& sched, Uuid id, bool is_main, std::size_t kv_get_concurrency = 4)
-      : sched_(sched), id_(id), is_main_(is_main), kv_get_concurrency_(kv_get_concurrency) {}
+  Container(sim::Scheduler& sched, Uuid id, bool is_main, std::size_t kv_get_concurrency = 4,
+            std::size_t epoch_retention = 2)
+      : sched_(sched), id_(id), is_main_(is_main), kv_get_concurrency_(kv_get_concurrency),
+        retention_(epoch_retention) {}
 
   [[nodiscard]] Uuid id() const { return id_; }
   [[nodiscard]] bool is_main() const { return is_main_; }
 
+  // --- epochs -----------------------------------------------------------------
+  /// Highest committed (readable-by-snapshot) epoch; 0 before any commit.
+  [[nodiscard]] Epoch committed_epoch() const { return committed_; }
+  /// The pending epoch new writes land at.
+  [[nodiscard]] Epoch write_epoch() const { return committed_ + 1; }
+  /// Committed epochs retained behind the head (0: recycle in place).
+  [[nodiscard]] std::size_t retention() const { return retention_; }
+
+  /// Publishes the pending epoch and aggregates versions that fell out of
+  /// the retention window (and are not pinned).  Returns the new committed
+  /// epoch.
+  Epoch commit();
+
+  /// Opens a snapshot at `epoch` (kEpochLatest: the newest committed one),
+  /// pinning its versions against aggregation until closed.  Fails with
+  /// `unsupported` when retention is 0 (nothing is retained to pin),
+  /// `invalid` for an uncommitted epoch, `not_found` for one already
+  /// aggregated away.
+  Result<Epoch> snapshot_open(Epoch epoch);
+
+  /// Releases a snapshot pin; unknown epochs are logic errors.
+  void snapshot_close(Epoch epoch);
+
+  /// Whether a write superseding a committed version must preserve it
+  /// (retention window or open snapshots) rather than recycle it in place.
+  [[nodiscard]] bool retains_superseded() const {
+    return retention_ > 0 || !snapshot_refs_.empty();
+  }
+
+  [[nodiscard]] std::size_t open_snapshots() const { return snapshot_refs_.size(); }
+  [[nodiscard]] const EpochStats& epoch_stats() const { return epoch_stats_; }
+  /// Adds retained version count / logical bytes over every object.
+  void count_live(std::uint64_t& versions, Bytes& bytes) const;
+
+  // --- objects ----------------------------------------------------------------
   /// Opens (creating on first use, as DAOS objects are materialised on first
   /// write) the KV object with this id.  Type mismatches are logic errors.
   KvObject& kv(const ObjectId& oid);
@@ -194,10 +332,19 @@ class Container {
   }
 
  private:
+  /// Recomputes the aggregation floor (retention window clamped by the
+  /// oldest open snapshot) and prunes every object when it advanced.
+  void aggregate();
+
   sim::Scheduler& sched_;
   Uuid id_;
   bool is_main_;
   std::size_t kv_get_concurrency_;
+  std::size_t retention_;
+  Epoch committed_ = 0;
+  Epoch prune_floor_ = 0;  // versions superseded at/below this are gone
+  std::map<Epoch, std::size_t> snapshot_refs_;  // ordered: begin() is oldest
+  EpochStats epoch_stats_;
   std::size_t active_array_readers_ = 0;
   std::size_t active_array_writers_ = 0;
   sim::TimePoint last_array_read_ = -1;

@@ -91,6 +91,55 @@ sim::Task<Result<std::vector<FieldEntry>>> Catalogue::list_fields(const std::str
   co_return co_await fields_of(forecast_key, index_cont, store_cont);
 }
 
+sim::Task<Result<std::vector<FieldEntry>>> Catalogue::list_fields_at(const std::string& forecast_key,
+                                                                     daos::Epoch epoch) {
+  if (!initialised_) throw std::logic_error("Catalogue::list_fields_at before init()");
+
+  if (config_.mode != Mode::full) {
+    // Collapsed layout: one pinned view of the main container covers both
+    // the index Key-Value and the field arrays.
+    auto snap = co_await retrier_.run_result<daos::ContHandle>(
+        [&] { return client_.cont_snapshot(main_cont_, epoch); });
+    if (!snap.is_ok()) co_return snap.status();
+    daos::ContHandle pinned = snap.value();
+    auto fields = co_await fields_of(forecast_key, pinned, pinned);
+    (co_await client_.snapshot_close(pinned)).expect_ok("Catalogue snapshot release");
+    co_return fields;
+  }
+
+  auto exists = co_await retrier_.run_result<std::string>(
+      [&] { return client_.kv_get(main_kv_, forecast_key); });
+  if (!exists.is_ok()) co_return exists.status();
+  const daos::Uuid index_uuid = daos::Uuid::from_string_md5(forecast_key + ":index");
+  auto opened_index = co_await retrier_.run_result<daos::ContHandle>(
+      [&] { return client_.cont_open(index_uuid); });
+  if (!opened_index.is_ok()) co_return opened_index.status();
+  const daos::Uuid store_uuid = daos::Uuid::from_string_md5(forecast_key + ":store");
+  auto opened_store = co_await retrier_.run_result<daos::ContHandle>(
+      [&] { return client_.cont_open(store_uuid); });
+  if (!opened_store.is_ok()) co_return opened_store.status();
+
+  // Pin the index (publication point) first, then the store — the same
+  // order as FieldIo::pin_snapshot, for the same reason: every entry
+  // visible at the pinned index epoch was published before the store pin.
+  auto index_snap = co_await retrier_.run_result<daos::ContHandle>(
+      [&] { return client_.cont_snapshot(opened_index.value(), epoch); });
+  if (!index_snap.is_ok()) co_return index_snap.status();
+  daos::ContHandle index_cont = index_snap.value();
+  auto store_snap = co_await retrier_.run_result<daos::ContHandle>(
+      [&] { return client_.cont_snapshot(opened_store.value(), epoch); });
+  if (!store_snap.is_ok()) {
+    (co_await client_.snapshot_close(index_cont)).expect_ok("Catalogue snapshot release");
+    co_return store_snap.status();
+  }
+  daos::ContHandle store_cont = store_snap.value();
+
+  auto fields = co_await fields_of(forecast_key, index_cont, store_cont);
+  (co_await client_.snapshot_close(store_cont)).expect_ok("Catalogue snapshot release");
+  (co_await client_.snapshot_close(index_cont)).expect_ok("Catalogue snapshot release");
+  co_return fields;
+}
+
 sim::Task<Result<std::vector<ForecastEntry>>> Catalogue::list_forecasts() {
   if (!initialised_) throw std::logic_error("Catalogue::list_forecasts before init()");
 

@@ -46,6 +46,16 @@ class Catalogue {
   /// Fields of one forecast (by most-significant key part).
   sim::Task<Result<std::vector<FieldEntry>>> list_fields(const std::string& forecast_key);
 
+  /// Fields of one forecast as of committed publication `epoch`
+  /// (kEpochLatest: newest committed).  Snapshot handles are held for the
+  /// duration of the listing — index pinned before store, mirroring
+  /// FieldIo::pin_snapshot — so concurrent re-writes never tear the view;
+  /// a de-referenced-then-pruned array degrades to a not_found error, not a
+  /// stale size.  Requires the container's retention policy to allow
+  /// snapshots (ModelConfig::epoch_retention_depth > 0).
+  sim::Task<Result<std::vector<FieldEntry>>> list_fields_at(const std::string& forecast_key,
+                                                            daos::Epoch epoch = daos::kEpochLatest);
+
   /// Total bytes currently referenced by live field entries (de-referenced
   /// arrays from re-writes are excluded — they are garbage the store keeps
   /// by design, paper Section 4).

@@ -264,8 +264,143 @@ sim::Task<Status> FieldIo::write(const FieldKey& key, const std::uint8_t* data, 
   co_return Status::ok();
 }
 
+sim::Task<Result<daos::Epoch>> FieldIo::commit(const FieldKey& key) {
+  if (!initialised_) throw std::logic_error("FieldIo::commit before init()");
+
+  if (config_.mode == Mode::no_index || config_.mode == Mode::no_containers) {
+    auto committed =
+        co_await retrier_.run_result<daos::Epoch>([&] { return client_.cont_commit(main_cont_); });
+    if (committed.is_ok()) ++stats_.commits;
+    co_return committed;
+  }
+
+  auto forecast = co_await resolve_forecast_for_write(key.most_significant());
+  if (!forecast.is_ok()) co_return forecast.status();
+  ForecastHandles& handles = *forecast.value();
+  // Store first, then index: a committed index entry then never references
+  // array data that is still uncommitted by the same commit call.
+  auto store = co_await retrier_.run_result<daos::Epoch>(
+      [&] { return client_.cont_commit(handles.store_cont); });
+  if (!store.is_ok()) co_return store.status();
+  auto index = co_await retrier_.run_result<daos::Epoch>(
+      [&] { return client_.cont_commit(handles.index_cont); });
+  if (index.is_ok()) ++stats_.commits;
+  co_return index;
+}
+
+sim::Task<Result<daos::Epoch>> FieldIo::committed_epoch(const FieldKey& key) {
+  if (!initialised_) throw std::logic_error("FieldIo::committed_epoch before init()");
+
+  if (config_.mode == Mode::no_index || config_.mode == Mode::no_containers) {
+    co_return co_await retrier_.run_result<daos::Epoch>(
+        [&] { return client_.cont_committed_epoch(main_cont_); });
+  }
+  auto forecast = co_await resolve_forecast_for_read(key.most_significant());
+  if (!forecast.is_ok()) co_return forecast.status();
+  co_return co_await retrier_.run_result<daos::Epoch>(
+      [&] { return client_.cont_committed_epoch(forecast.value()->index_cont); });
+}
+
+sim::Task<Result<daos::Epoch>> FieldIo::pin_snapshot(const FieldKey& key, daos::Epoch epoch) {
+  if (!initialised_) throw std::logic_error("FieldIo::pin_snapshot before init()");
+  const std::string msk = key.most_significant();
+  if (pinned_.count(msk) != 0) {
+    co_return Status::error(Errc::invalid, "forecast already pinned: " + msk);
+  }
+
+  PinnedForecast pin;
+  if (config_.mode == Mode::no_index || config_.mode == Mode::no_containers) {
+    auto snap = co_await retrier_.run_result<daos::ContHandle>(
+        [&] { return client_.cont_snapshot(main_cont_, epoch); });
+    if (!snap.is_ok()) co_return snap.status();
+    pin.store_cont = snap.value();
+    pin.shared_cont = true;
+    if (config_.mode == Mode::no_containers) {
+      pin.index_cont = snap.value();
+      pin.index_kv = co_await client_.kv_open(pin.index_cont, forecast_kv_oid(msk));
+    }
+    ++stats_.snapshot_pins;
+    const daos::Epoch pinned_epoch = pin.store_cont.epoch;
+    pinned_.emplace(msk, pin);
+    co_return pinned_epoch;
+  }
+
+  auto forecast = co_await resolve_forecast_for_read(msk);
+  if (!forecast.is_ok()) co_return forecast.status();
+  ForecastHandles& handles = *forecast.value();
+  // Pin the index (publication point) first, then the store: every entry
+  // visible at the pinned index epoch was committed before the store pin,
+  // so its array is at or below the pinned store epoch whenever the writer
+  // committed store-then-index through commit().
+  auto index_snap = co_await retrier_.run_result<daos::ContHandle>(
+      [&] { return client_.cont_snapshot(handles.index_cont, epoch); });
+  if (!index_snap.is_ok()) co_return index_snap.status();
+  pin.index_cont = index_snap.value();
+  auto store_snap = co_await retrier_.run_result<daos::ContHandle>(
+      [&] { return client_.cont_snapshot(handles.store_cont, epoch); });
+  if (!store_snap.is_ok()) {
+    (co_await client_.snapshot_close(pin.index_cont)).expect_ok("snapshot_close");
+    co_return store_snap.status();
+  }
+  pin.store_cont = store_snap.value();
+  pin.index_kv = co_await client_.kv_open(pin.index_cont, forecast_kv_oid(msk));
+  ++stats_.snapshot_pins;
+  const daos::Epoch pinned_epoch = pin.index_cont.epoch;
+  pinned_.emplace(msk, pin);
+  co_return pinned_epoch;
+}
+
+sim::Task<Status> FieldIo::unpin_snapshot(const FieldKey& key) {
+  if (!initialised_) throw std::logic_error("FieldIo::unpin_snapshot before init()");
+  const auto it = pinned_.find(key.most_significant());
+  if (it == pinned_.end()) co_return Status::ok();
+  PinnedForecast pin = it->second;
+  pinned_.erase(it);
+  (co_await client_.snapshot_close(pin.store_cont)).expect_ok("snapshot_close(store)");
+  if (!pin.shared_cont && pin.index_cont.valid()) {
+    (co_await client_.snapshot_close(pin.index_cont)).expect_ok("snapshot_close(index)");
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Result<Bytes>> FieldIo::read_pinned(const FieldKey& key, PinnedForecast& pin,
+                                              std::uint8_t* out, Bytes out_len) {
+  daos::ObjectId oid;
+  if (config_.mode == Mode::no_index) {
+    oid = daos::ObjectId::from_digest(md5(key.canonical()), daos::ObjectType::array,
+                                      config_.array_class);
+  } else {
+    const std::string field_entry = key.least_significant();
+    auto ref = co_await retrier_.run_result<std::string>(
+        [&] { return client_.kv_get(pin.index_kv, field_entry); });
+    if (!ref.is_ok()) co_return ref.status();
+    auto parsed = oid_from_string(ref.value());
+    if (!parsed.is_ok()) co_return parsed.status();
+    oid = parsed.value();
+  }
+
+  // Resolve the array at the snapshot epoch every time — the live arrays_
+  // cache holds unpinned handles and must not serve snapshot reads.
+  auto opened = co_await retrier_.run_result<daos::ArrayHandle>(
+      [&] { return client_.array_open(pin.store_cont, oid); });
+  if (!opened.is_ok()) co_return opened.status();
+  auto handle = opened.value();
+  auto n = co_await retrier_.run_result<Bytes>(
+      [&] { return client_.array_read(handle, 0, out, out_len); });
+  co_await client_.array_close(handle);
+  if (!n.is_ok()) co_return n.status();
+  ++stats_.fields_read;
+  stats_.bytes_read += n.value();
+  co_return n.value();
+}
+
 sim::Task<Result<Bytes>> FieldIo::read(const FieldKey& key, std::uint8_t* out, Bytes out_len) {
   if (!initialised_) throw std::logic_error("FieldIo::read before init()");
+
+  const auto pinned = pinned_.find(key.most_significant());
+  if (pinned != pinned_.end()) {
+    co_return co_await read_pinned(key, pinned->second, out, out_len);
+  }
 
   if (config_.mode == Mode::no_index) {
     const daos::ObjectId oid =

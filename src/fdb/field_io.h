@@ -62,6 +62,9 @@ struct FieldIoStats {
   Bytes bytes_read = 0;
   /// Cumulative retry attempts across all operations (fault injection).
   std::uint64_t retries = 0;
+  /// Epoch operations: forecast commits published and snapshots pinned.
+  std::uint64_t commits = 0;
+  std::uint64_t snapshot_pins = 0;
 };
 
 /// Accumulates one process's counters into a run-wide total (harness
@@ -72,6 +75,8 @@ inline FieldIoStats& operator+=(FieldIoStats& a, const FieldIoStats& b) {
   a.bytes_written += b.bytes_written;
   a.bytes_read += b.bytes_read;
   a.retries += b.retries;
+  a.commits += b.commits;
+  a.snapshot_pins += b.snapshot_pins;
   return a;
 }
 
@@ -93,8 +98,42 @@ class FieldIo {
 
   /// Algorithm 2: retrieves the field stored under `key` into `out`
   /// (capacity `out_len`; null allowed in digest mode).  Returns the field
-  /// size, or not_found.
+  /// size, or not_found.  While the forecast is pinned (pin_snapshot), the
+  /// read observes exactly the pinned epoch's state.
   sim::Task<Result<Bytes>> read(const FieldKey& key, std::uint8_t* out, Bytes out_len);
+
+  // --- epochs (docs/EPOCHS.md) ----------------------------------------------
+  // The forecast-level face of the DAOS epoch model: a writer publishes a
+  // consistent forecast state with commit(); a reader pins that state and
+  // reads it torn-free while the next state streams in.
+
+  /// Publishes `key`'s forecast: commits the store container, then the index
+  /// container (so a committed index entry never leads ahead of committed
+  /// array data); the collapsed modes commit the main container.  Returns
+  /// the forecast's new committed (publication) epoch.
+  sim::Task<Result<daos::Epoch>> commit(const FieldKey& key);
+
+  /// The forecast's highest committed publication epoch (0 before any
+  /// commit; not_found for a forecast never written in full mode).
+  sim::Task<Result<daos::Epoch>> committed_epoch(const FieldKey& key);
+
+  /// Pins `key`'s forecast at `epoch` (kEpochLatest: newest committed) for
+  /// subsequent read()s.  In full mode the index is pinned first, then the
+  /// store, so a pinned index entry's array is committed at or before the
+  /// pinned store epoch whenever the writer committed through commit();
+  /// cross-container skew under faults surfaces as a clean not_found read
+  /// (retryable by re-pinning), never as torn bytes.  Returns the pinned
+  /// publication epoch.
+  sim::Task<Result<daos::Epoch>> pin_snapshot(const FieldKey& key,
+                                              daos::Epoch epoch = daos::kEpochLatest);
+
+  /// Releases `key`'s forecast pin (no-op status if not pinned).
+  sim::Task<Status> unpin_snapshot(const FieldKey& key);
+
+  /// Whether read()s of `key`'s forecast currently observe a pinned epoch.
+  [[nodiscard]] bool pinned(const FieldKey& key) const {
+    return pinned_.count(key.most_significant()) != 0;
+  }
 
   [[nodiscard]] const FieldIoStats& stats() const { return stats_; }
   [[nodiscard]] const FieldIoConfig& config() const { return config_; }
@@ -106,12 +145,26 @@ class FieldIo {
     daos::KvHandle index_kv;
   };
 
+  /// Snapshot-pinned handles of one forecast (pin_snapshot): reads through
+  /// them observe exactly the pinned epochs.
+  struct PinnedForecast {
+    daos::ContHandle index_cont;  // invalid in no_index mode
+    daos::ContHandle store_cont;
+    daos::KvHandle index_kv;      // invalid in no_index mode
+    bool shared_cont = false;     // index_cont IS store_cont (one pin to release)
+  };
+
   /// Write path of Algorithm 1 before the array store: resolves (creating if
   /// needed) the forecast's containers and index KV.
   sim::Task<Result<ForecastHandles*>> resolve_forecast_for_write(const std::string& msk);
   /// Read path of Algorithm 2: resolves via the main index only; fails with
   /// not_found for unknown forecasts.
   sim::Task<Result<ForecastHandles*>> resolve_forecast_for_read(const std::string& msk);
+
+  /// Algorithm 2 against a pinned forecast: bypasses the live handle caches
+  /// so every resolution happens at the snapshot epoch.
+  sim::Task<Result<Bytes>> read_pinned(const FieldKey& key, PinnedForecast& pin, std::uint8_t* out,
+                                       Bytes out_len);
 
   [[nodiscard]] daos::ObjectId forecast_kv_oid(const std::string& msk) const;
   [[nodiscard]] daos::ObjectId next_array_oid();
@@ -135,6 +188,8 @@ class FieldIo {
   /// hit one well-known Array per key — skip the open/close round-trips.
   /// Handles are plain values; a process simply keeps them open.
   std::unordered_map<daos::ObjectId, daos::ArrayHandle, daos::ObjectIdHash> arrays_;
+  /// Forecasts currently pinned at a snapshot epoch, by most-significant key.
+  std::unordered_map<std::string, PinnedForecast> pinned_;
 
   FieldIoStats stats_;
 };

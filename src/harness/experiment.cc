@@ -43,7 +43,8 @@ RepetitionSummary repeat(std::size_t reps, std::uint64_t base_seed,
 obs::MetricsSnapshot snapshot_run_metrics(const sim::Scheduler& sched, const net::FlowStats& flows,
                                           const IoLog& write_log, const IoLog& read_log,
                                           const daos::ClientStats& client,
-                                          const fdb::FieldIoStats* field) {
+                                          const fdb::FieldIoStats* field,
+                                          const daos::Cluster* cluster) {
   obs::MetricsSnapshot m;
   m.counter("sim.events_executed", static_cast<double>(sched.events_executed()));
   m.counter("net.flows_started", static_cast<double>(flows.flows_started));
@@ -75,6 +76,28 @@ obs::MetricsSnapshot snapshot_run_metrics(const sim::Scheduler& sched, const net
     m.counter("fdb.bytes_written", static_cast<double>(field->bytes_written));
     m.counter("fdb.bytes_read", static_cast<double>(field->bytes_read));
     m.counter("fdb.retries", static_cast<double>(field->retries));
+    if (field->commits > 0) m.counter("fdb.commits", static_cast<double>(field->commits));
+    if (field->snapshot_pins > 0) {
+      m.counter("fdb.snapshot_pins", static_cast<double>(field->snapshot_pins));
+    }
+  }
+  if (cluster != nullptr) {
+    const daos::EpochStats epochs = cluster->epoch_stats();
+    const bool used_epochs = epochs.commits > 0 || epochs.snapshots_opened > 0 ||
+                             epochs.cow_bytes > 0 || epochs.versions_pruned > 0;
+    if (used_epochs) {
+      m.counter("epoch.commits", static_cast<double>(epochs.commits));
+      m.counter("epoch.snapshots_opened", static_cast<double>(epochs.snapshots_opened));
+      m.counter("epoch.snapshots_released", static_cast<double>(epochs.snapshots_released));
+      m.counter("epoch.cow_bytes", static_cast<double>(epochs.cow_bytes));
+      m.counter("epoch.versions_pruned", static_cast<double>(epochs.versions_pruned));
+      m.counter("epoch.bytes_reclaimed", static_cast<double>(epochs.bytes_reclaimed));
+      const auto [live_versions, live_bytes] = cluster->live_versions();
+      m.gauge("epoch.live_versions", static_cast<double>(live_versions));
+      m.gauge("epoch.live_version_bytes", static_cast<double>(live_bytes));
+      m.gauge("epoch.retention_depth",
+              static_cast<double>(cluster->config().model.epoch_retention_depth));
+    }
   }
   return m;
 }
@@ -115,7 +138,16 @@ RunOutcome run_field_once(daos::ClusterConfig cfg, const FieldBenchParams& param
         result.read_log.empty() ? 0.0 : to_gib_per_sec(result.read_log.global_timing_bandwidth());
     outcome.metrics =
         snapshot_run_metrics(sched, cluster.flows().stats(), result.write_log, result.read_log,
-                             result.client_stats, &result.field_stats);
+                             result.client_stats, &result.field_stats, &cluster);
+    if (result.snapshot_reads > 0 || result.snapshot_pin_retries > 0 ||
+        result.snapshot_fallbacks > 0) {
+      outcome.metrics.counter("fdb.snapshot_verified_reads",
+                              static_cast<double>(result.snapshot_reads));
+      outcome.metrics.counter("fdb.snapshot_pin_retries",
+                              static_cast<double>(result.snapshot_pin_retries));
+      outcome.metrics.counter("fdb.snapshot_fallbacks",
+                              static_cast<double>(result.snapshot_fallbacks));
+    }
   }
   return outcome;
 }

@@ -50,11 +50,15 @@ struct RepetitionSummary {
 
 /// Builds one run's metrics snapshot from the simulator, network and
 /// workload counters.  `field` is null for workloads without a field-I/O
-/// layer (IOR).
+/// layer (IOR).  `cluster` adds the `epoch.*` namespace (commit, snapshot
+/// and write-amplification accounting, docs/EPOCHS.md) — emitted only when
+/// the run actually used epochs, so artifacts of epoch-free workloads are
+/// byte-identical to before.
 obs::MetricsSnapshot snapshot_run_metrics(const sim::Scheduler& sched, const net::FlowStats& flows,
                                           const IoLog& write_log, const IoLog& read_log,
                                           const daos::ClientStats& client,
-                                          const fdb::FieldIoStats* field = nullptr);
+                                          const fdb::FieldIoStats* field = nullptr,
+                                          const daos::Cluster* cluster = nullptr);
 
 /// Runs `reps` repetitions of `run` (a callable taking the repetition seed
 /// and returning a RunOutcome) and summarises.

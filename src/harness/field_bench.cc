@@ -1,6 +1,7 @@
 #include "harness/field_bench.h"
 
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string_view>
@@ -23,6 +24,9 @@ struct Shared {
   sim::Gate read_gate;
   fdb::FieldIoStats field_stats;    // summed over processes as they finish
   daos::ClientStats client_stats;
+  std::uint64_t snapshot_reads = 0;        // verified pinned reads
+  std::uint64_t snapshot_pin_retries = 0;  // pins retried (retention overtook)
+  std::uint64_t snapshot_fallbacks = 0;    // live-read fallbacks (retention 0)
   bool failed = false;
   std::string failure;
 
@@ -86,6 +90,24 @@ std::vector<std::uint8_t> make_field_payload(const std::string& key_canonical, B
   return payload;
 }
 
+std::vector<std::uint8_t> make_versioned_payload(const std::string& key_canonical, Bytes size,
+                                                 std::uint64_t version) {
+  auto payload = make_field_payload(key_canonical + "#v" + std::to_string(version), size);
+  if (payload.size() >= 8) std::memcpy(payload.data(), &version, 8);
+  return payload;
+}
+
+std::int64_t versioned_payload_version(const std::uint8_t* got, Bytes n,
+                                       const std::string& key_canonical) {
+  if (n < 8) return -1;
+  std::uint64_t version = 0;
+  std::memcpy(&version, got, 8);
+  if (version > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) return -1;
+  const auto expected = make_versioned_payload(key_canonical, n, version);
+  if (std::memcmp(got, expected.data(), static_cast<std::size_t>(n)) != 0) return -1;
+  return static_cast<std::int64_t>(version);
+}
+
 namespace {
 
 /// Verifies a read-back field against the regenerated expected payload.
@@ -100,6 +122,14 @@ bool payload_matches(const std::vector<std::uint8_t>& got, Bytes n, const std::s
 void require_verifiable(const daos::Cluster& cluster, const FieldBenchParams& params) {
   if (params.verify_payload && cluster.config().payload_mode != daos::PayloadMode::full) {
     throw std::logic_error("FieldBenchParams::verify_payload requires PayloadMode::full");
+  }
+  if (params.snapshot_reads) {
+    if (cluster.config().payload_mode != daos::PayloadMode::full) {
+      throw std::logic_error("FieldBenchParams::snapshot_reads requires PayloadMode::full");
+    }
+    if (params.field_size < 8) {
+      throw std::logic_error("FieldBenchParams::snapshot_reads requires field_size >= 8");
+    }
   }
 }
 
@@ -227,17 +257,28 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
   const fdb::FieldKey key = bench_field_key(params, global_rank, 0, /*designated=*/true);
   std::vector<std::uint8_t> payload;
   const std::uint8_t* data = nullptr;
-  if (params.verify_payload) {
+  if (params.snapshot_reads) {
+    // Every (re-)write stores a distinct complete version; readers assert
+    // they only ever observe whole versions (snapshot isolation).
+    payload = make_versioned_payload(key.canonical(), params.field_size, 0);
+    data = payload.data();
+  } else if (params.verify_payload) {
     // Re-writes store the same deterministic content, so readers racing a
     // re-write always see a consistent payload for the designated key.
     payload = make_field_payload(key.canonical(), params.field_size);
     data = payload.data();
   }
 
-  // Setup phase: populate the designated field once.
+  // Setup phase: populate the designated field once (and, in snapshot-read
+  // runs, publish it — readers then always find a committed epoch to pin).
   {
     const Status st = co_await io.write(key, data, params.field_size);
-    if (!st.is_ok()) shared.fail("setup write failed: " + st.to_string());
+    if (!st.is_ok()) {
+      shared.fail("setup write failed: " + st.to_string());
+    } else if (params.snapshot_reads) {
+      auto committed = co_await io.commit(key);
+      if (!committed.is_ok()) shared.fail("setup commit failed: " + committed.status().to_string());
+    }
     shared.writers_done.count_down();
   }
   // Main phase starts once ALL setup writes have completed.
@@ -249,10 +290,23 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
     obs::Span io_span("io", "io", actor, op, static_cast<double>(params.field_size));
     const std::uint64_t retries_before = io.stats().retries;
     const sim::TimePoint start = cluster.scheduler().now();
+    if (params.snapshot_reads) {
+      payload = make_versioned_payload(key.canonical(), params.field_size, op + 1);
+      data = payload.data();
+    }
     const Status st = co_await io.write(key, data, params.field_size);
     if (!st.is_ok()) {
       shared.fail("re-write failed: " + st.to_string());
       break;
+    }
+    if (params.snapshot_reads) {
+      // Publish the new version; the op's latency includes the commit — the
+      // write-amplification/latency trade fig_snapshot_rw measures.
+      auto committed = co_await io.commit(key);
+      if (!committed.is_ok()) {
+        shared.fail("commit failed: " + committed.status().to_string());
+        break;
+      }
     }
     log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size,
                static_cast<std::uint32_t>(io.stats().retries - retries_before));
@@ -277,6 +331,83 @@ sim::Task<void> pattern_b_reader(daos::Cluster& cluster, const FieldBenchParams 
   const fdb::FieldKey key = bench_field_key(params, writer_rank, 0, /*designated=*/true);
   std::vector<std::uint8_t> buf;
   if (params.verify_payload) buf.resize(static_cast<std::size_t>(params.field_size));
+
+  if (params.snapshot_reads) {
+    // Snapshot-isolation read path: pin the newest committed epoch, assert
+    // the pinned read is one complete version AND byte-stable across a
+    // re-read under the same pin (while the writer streams the next version
+    // in), then release.  A not_found under the pin means retention (or
+    // cross-container skew under faults) overtook the pinned epoch — re-pin
+    // at the newest committed epoch and retry; the writer's finite schedule
+    // bounds the retries.
+    std::vector<std::uint8_t> first(static_cast<std::size_t>(params.field_size));
+    std::vector<std::uint8_t> second(static_cast<std::size_t>(params.field_size));
+    bool fallback_mode = false;
+    for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
+      client.set_trace_iteration(op);
+      obs::Span io_span("io", "io", actor, op, static_cast<double>(params.field_size));
+      const std::uint64_t retries_before = io.stats().retries;
+      const sim::TimePoint start = cluster.scheduler().now();
+      bool done = false;
+      while (!done && !shared.failed) {
+        if (fallback_mode) {
+          // Retention 0 disables snapshots: live read, still asserting the
+          // payload is one complete version (writes are never torn).
+          auto n = co_await io.read(key, first.data(), params.field_size);
+          if (!n.is_ok() || n.value() != params.field_size) {
+            shared.fail("read failed: " +
+                        (n.is_ok() ? std::string("short read") : n.status().to_string()));
+            break;
+          }
+          if (versioned_payload_version(first.data(), params.field_size, key.canonical()) < 0) {
+            shared.fail("torn read: live read is not a complete version: " + key.canonical());
+            break;
+          }
+          ++shared.snapshot_fallbacks;
+          done = true;
+          continue;
+        }
+        auto pinned = co_await io.pin_snapshot(key);
+        if (!pinned.is_ok()) {
+          if (pinned.status().code() == Errc::unsupported) {
+            fallback_mode = true;
+            continue;
+          }
+          shared.fail("pin_snapshot failed: " + pinned.status().to_string());
+          break;
+        }
+        auto n = co_await io.read(key, first.data(), params.field_size);
+        if (!n.is_ok() || n.value() != params.field_size) {
+          (co_await io.unpin_snapshot(key)).expect_ok("unpin_snapshot");
+          if (!n.is_ok() && n.status().code() == Errc::not_found) {
+            ++shared.snapshot_pin_retries;
+            continue;
+          }
+          shared.fail("pinned read failed: " +
+                      (n.is_ok() ? std::string("short read") : n.status().to_string()));
+          break;
+        }
+        auto n2 = co_await io.read(key, second.data(), params.field_size);
+        (co_await io.unpin_snapshot(key)).expect_ok("unpin_snapshot");
+        if (!n2.is_ok() || n2.value() != params.field_size ||
+            std::memcmp(first.data(), second.data(), first.size()) != 0) {
+          shared.fail("snapshot instability: re-read under the pinned epoch differed: " +
+                      key.canonical());
+          break;
+        }
+        if (versioned_payload_version(first.data(), params.field_size, key.canonical()) < 0) {
+          shared.fail("torn read: pinned read is not a complete version: " + key.canonical());
+          break;
+        }
+        ++shared.snapshot_reads;
+        done = true;
+      }
+      if (!done) break;
+      log.record(node, proc, op, start, cluster.scheduler().now(), params.field_size,
+                 static_cast<std::uint32_t>(io.stats().retries - retries_before));
+    }
+    co_return;
+  }
 
   for (std::uint32_t op = 0; op < params.ops_per_process && !shared.failed; ++op) {
     client.set_trace_iteration(op);
@@ -346,6 +477,9 @@ FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchPar
 
   result.field_stats = shared.field_stats;
   result.client_stats = shared.client_stats;
+  result.snapshot_reads = shared.snapshot_reads;
+  result.snapshot_pin_retries = shared.snapshot_pin_retries;
+  result.snapshot_fallbacks = shared.snapshot_fallbacks;
   result.failed = shared.failed;
   result.failure = shared.failure;
   return result;

@@ -46,6 +46,15 @@ struct FieldBenchParams {
   /// against the expected bytes (chaos/property testing).  Requires the
   /// cluster to run with PayloadMode::full.
   bool verify_payload = false;
+  /// Pattern B only: writers publish every re-write with FieldIo::commit()
+  /// (payloads are versioned — make_versioned_payload) and readers pin the
+  /// newest committed epoch, assert snapshot isolation (the pinned read is a
+  /// complete version and re-reads under the same pin are byte-identical),
+  /// then unpin.  When the cluster's retention policy disables snapshots
+  /// (epoch_retention_depth 0) readers fall back to live reads, still
+  /// checking version completeness.  Requires PayloadMode::full and
+  /// field_size >= 8 (the version header).  See docs/EPOCHS.md.
+  bool snapshot_reads = false;
   /// Detail-record capacity of the result logs (0: aggregates only).
   std::size_t log_detail_capacity = 0;
 };
@@ -56,6 +65,12 @@ struct FieldBenchResult {
   /// Layer counters summed over every process of the run.
   fdb::FieldIoStats field_stats;
   daos::ClientStats client_stats;
+  /// snapshot_reads accounting: verified pinned reads, pins retried because
+  /// retention overtook the pinned epoch mid-read, and live-read fallbacks
+  /// (retention 0).
+  std::uint64_t snapshot_reads = 0;
+  std::uint64_t snapshot_pin_retries = 0;
+  std::uint64_t snapshot_fallbacks = 0;
   bool failed = false;
   std::string failure;
 
@@ -84,5 +99,18 @@ fdb::FieldKey bench_field_key(const FieldBenchParams& params, std::uint32_t glob
 /// function of (canonical key, size), so any reader can regenerate the
 /// expected content and compare MD5s.
 std::vector<std::uint8_t> make_field_payload(const std::string& key_canonical, Bytes size);
+
+/// Versioned payload for snapshot_reads runs: the first 8 bytes hold
+/// `version` little-endian, the rest is a pure function of (canonical key,
+/// size, version) — so torn reads mixing two versions can never pass the
+/// completeness check below.
+std::vector<std::uint8_t> make_versioned_payload(const std::string& key_canonical, Bytes size,
+                                                 std::uint64_t version);
+
+/// Parses the version header of a read-back payload and checks the bytes
+/// are exactly that version's.  Returns the version, or -1 if `got` is not
+/// a complete version (torn or corrupt).
+std::int64_t versioned_payload_version(const std::uint8_t* got, Bytes n,
+                                       const std::string& key_canonical);
 
 }  // namespace nws::bench

@@ -38,6 +38,7 @@ struct PipelineState {
     }
   }
   std::vector<std::unique_ptr<ServerState>> server_states;
+  std::vector<std::size_t> stored_per_step;  // commit_steps: fields landed per step
   sim::CountDownLatch producers_remaining;
   sim::CountDownLatch servers_remaining;
   PipelineResult result;
@@ -140,6 +141,20 @@ sim::Task<void> io_server(daos::Cluster& cluster, const PipelineConfig cfg, Pipe
     ++state.result.fields_stored;
     --inbox.outstanding;
     if (cfg.on_field_stored) cfg.on_field_stored(key, field.bytes);
+    if (cfg.commit_steps && ++state.stored_per_step[field.step] == cfg.fields_per_step) {
+      // This server stored the step's last field: publish the forecast so
+      // consumers can pin everything up to and including this step.
+      auto committed = co_await io.commit(key);
+      if (!committed.is_ok()) {
+        if (!state.result.failed) {
+          state.result.failed = true;
+          state.result.failure = "step commit failed: " + committed.status().to_string();
+        }
+      } else {
+        ++state.result.steps_committed;
+        if (cfg.on_step_committed) cfg.on_step_committed(field.step, committed.value());
+      }
+    }
   }
   state.result.client_stats += client.stats();
   state.result.field_stats += io.stats();
@@ -203,6 +218,7 @@ Status PipelineRun::spawn(std::function<void()> on_done) {
   impl_->spawned = true;
   daos::Cluster& cluster = impl_->cluster;
   PipelineState& state = impl_->state;
+  state.stored_per_step.assign(config.steps, 0);
   state.on_done = std::move(on_done);
   state.start = cluster.scheduler().now();
   for (std::size_t s = 0; s < config.io_servers; ++s) {

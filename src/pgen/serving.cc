@@ -17,6 +17,9 @@ namespace {
 struct AnnouncedField {
   fdb::FieldKey key;
   Bytes size = 0;
+  /// snapshot_reads: the publication epoch consumers pin while reading this
+  /// field (kEpochLatest: live read).
+  daos::Epoch epoch = daos::kEpochLatest;
 };
 
 /// Per-client-node shared serving state: one cache and one admission
@@ -55,6 +58,10 @@ struct ConsumerFleet::Impl {
   std::map<std::string, std::map<std::string, fdb::FieldKey>> expected_by_forecast;
   std::vector<AnnouncedField> announced;
   std::unordered_set<std::string> announced_keys;
+  /// snapshot_reads: fields stored but not yet covered by a step commit —
+  /// released to `announced` (stamped with the publication epoch) by
+  /// notify_committed.
+  std::vector<AnnouncedField> pending_commit;
   sim::Gate announce_gate;
   bool discovery_closed = false;
   bool writer_done = false;
@@ -84,16 +91,27 @@ void close_discovery(Impl& st) {
   st.announce_gate.open();
 }
 
-/// Appends a newly landed field; returns true when it was new.  Closes
-/// discovery once the whole expected set has landed.
+/// Releases a field to the consumers.  Closes discovery once the whole
+/// expected set has been released.
+void publish(Impl& st, AnnouncedField field) {
+  st.announced.push_back(std::move(field));
+  st.announce_gate.open();
+  if (st.announced.size() == st.expected_keys.size()) close_discovery(st);
+}
+
+/// Appends a newly landed field; returns true when it was new.  In
+/// snapshot_reads mode the field is held back until its step commits
+/// (notify_committed publishes it); otherwise it is released immediately.
 bool announce(Impl& st, const fdb::FieldKey& key, Bytes size) {
   if (st.discovery_closed) return false;
   std::string canonical = key.canonical();
   if (st.expected_keys.count(canonical) == 0) return false;  // not ours (chained hook)
   if (!st.announced_keys.insert(canonical).second) return false;
-  st.announced.push_back(AnnouncedField{key, size});
-  st.announce_gate.open();
-  if (st.announced.size() == st.expected_keys.size()) close_discovery(st);
+  if (st.cfg.snapshot_reads) {
+    st.pending_commit.push_back(AnnouncedField{key, size, daos::kEpochLatest});
+  } else {
+    publish(st, AnnouncedField{key, size, daos::kEpochLatest});
+  }
   return true;
 }
 
@@ -183,11 +201,34 @@ sim::Task<void> read_one(Impl& st, NodeState& local, fdb::FieldIo& io, daos::Cli
         co_await local.admission.acquire(idx);
         const sim::TimePoint t0 = sched.now();
         const std::uint64_t retries_before = io.stats().retries;
+        // Time-travel read: pin the field's publication epoch so the read
+        // observes the committed snapshot, not in-flight writes.  A retired
+        // pin (retention overtook the epoch) or disabled snapshots degrade
+        // to a live read, counted as a fallback.
+        bool pinned = false;
+        if (st.cfg.snapshot_reads && field.epoch != daos::kEpochLatest) {
+          auto pin = co_await io.pin_snapshot(field.key, field.epoch);
+          if (pin.is_ok()) {
+            pinned = true;
+          } else if (pin.status().code() != Errc::not_found &&
+                     pin.status().code() != Errc::unsupported) {
+            local.admission.release();
+            co_return pin.status();
+          }
+        }
         Result<Bytes> read = co_await io.read(field.key, nullptr, field.size);
+        if (pinned) (co_await io.unpin_snapshot(field.key)).expect_ok("serving unpin");
         if (read.is_ok()) {
           st.result.read_log.record(client.trace_actor().node, static_cast<std::uint32_t>(idx), 0,
                                     t0, sched.now(), read.value(),
                                     static_cast<std::uint32_t>(io.stats().retries - retries_before));
+          if (st.cfg.snapshot_reads) {
+            if (pinned) {
+              ++st.result.snapshot_reads;
+            } else {
+              ++st.result.snapshot_fallbacks;
+            }
+          }
         }
         local.admission.release();
         co_return read;
@@ -296,6 +337,11 @@ Status ConsumerFleet::spawn(std::function<void()> on_done) {
                          "catalogue polling cannot discover fields in no-index mode; "
                          "enable notifications");
   }
+  if (st.cfg.snapshot_reads && !st.cfg.use_notifications) {
+    return Status::error(Errc::invalid,
+                         "snapshot_reads needs the notification channel: step commits "
+                         "(notify_committed) carry the publication epochs");
+  }
   st.spawned = true;
   st.on_done = std::move(on_done);
   st.start = st.cluster.scheduler().now();
@@ -329,6 +375,20 @@ void ConsumerFleet::notify(const fdb::FieldKey& key, Bytes size) {
   if (announce(st, key, size)) ++st.result.notified_fields;
 }
 
+void ConsumerFleet::notify_committed(std::uint32_t step, daos::Epoch epoch) {
+  Impl& st = *impl_;
+  if (!st.spawned || st.done || !st.cfg.snapshot_reads) return;
+  (void)step;  // informational: the commit covers everything stored before it
+  ++st.result.steps_published;
+  std::vector<AnnouncedField> released = std::move(st.pending_commit);
+  st.pending_commit.clear();
+  for (AnnouncedField& field : released) {
+    if (st.discovery_closed) break;
+    field.epoch = epoch;
+    publish(st, std::move(field));
+  }
+}
+
 void ConsumerFleet::producers_done() {
   Impl& st = *impl_;
   st.writer_done = true;
@@ -345,6 +405,11 @@ obs::MetricsSnapshot serving_metrics(const ServingResult& serving) {
   m.counter("pgen.bytes_served", static_cast<double>(serving.bytes_served));
   m.counter("pgen.polls", static_cast<double>(serving.polls));
   m.counter("pgen.notified_fields", static_cast<double>(serving.notified_fields));
+  if (serving.steps_published > 0 || serving.snapshot_reads > 0 || serving.snapshot_fallbacks > 0) {
+    m.counter("pgen.steps_published", static_cast<double>(serving.steps_published));
+    m.counter("pgen.snapshot_reads", static_cast<double>(serving.snapshot_reads));
+    m.counter("pgen.snapshot_fallbacks", static_cast<double>(serving.snapshot_fallbacks));
+  }
   m.counter("cache.hits", static_cast<double>(serving.cache.hits));
   m.counter("cache.misses", static_cast<double>(serving.cache.misses));
   m.counter("cache.coalesced", static_cast<double>(serving.cache.coalesced));
@@ -379,6 +444,17 @@ ContentionResult run_write_read_contention(daos::Cluster& cluster, ioserver::Pip
                                                                      Bytes size) {
       if (chained) chained(key, size);
       fleet_ptr->notify(key, size);
+    };
+  }
+  if (serve.snapshot_reads) {
+    // Time-travel serving needs the write path to publish steps.
+    write.commit_steps = true;
+    auto chained = std::move(write.on_step_committed);
+    ConsumerFleet* fleet_ptr = &fleet;
+    write.on_step_committed = [fleet_ptr, chained = std::move(chained)](std::uint32_t step,
+                                                                       daos::Epoch epoch) {
+      if (chained) chained(step, epoch);
+      fleet_ptr->notify_committed(step, epoch);
     };
   }
   ioserver::PipelineRun pipeline(cluster, std::move(write));
@@ -429,7 +505,8 @@ bench::RunOutcome run_contention_once(daos::ClusterConfig cfg, ioserver::Pipelin
     fields += result.serving.field_stats;
     outcome.metrics = bench::snapshot_run_metrics(sched, cluster.flows().stats(),
                                                   result.pipeline.store_log,
-                                                  result.serving.read_log, clients, &fields);
+                                                  result.serving.read_log, clients, &fields,
+                                                  &cluster);
     outcome.metrics.fold(serving_metrics(result.serving));
   }
   return outcome;

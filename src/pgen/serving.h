@@ -48,6 +48,15 @@ struct ServingConfig {
   /// Subscribe to the write path's in-sim notification channel in addition
   /// to polling (off: polling is the only discovery mechanism).
   bool use_notifications = true;
+  /// Time-travel serving (docs/EPOCHS.md): consumers only read *published*
+  /// forecast state.  Discovered fields are held until the write pipeline
+  /// commits their step (notify_committed, wired to
+  /// ioserver::PipelineConfig::on_step_committed); each read then pins the
+  /// step's publication epoch, so consumers see a stable committed snapshot
+  /// while the next step streams in.  A retired pin (retention overtook the
+  /// epoch) falls back to a live read, counted in
+  /// ServingResult::snapshot_fallbacks.  Requires use_notifications.
+  bool snapshot_reads = false;
   CacheConfig cache;          // per client node
   AdmissionConfig admission;  // per client node
   fdb::FieldIoConfig field_io;
@@ -64,6 +73,12 @@ struct ServingResult {
   Bytes bytes_served = 0;
   std::uint64_t polls = 0;
   std::uint64_t notified_fields = 0;
+  /// snapshot_reads accounting: steps published to the fleet, DAOS reads
+  /// served under a pinned publication epoch, and live-read fallbacks
+  /// (pin retired by retention, or snapshots disabled).
+  std::uint64_t steps_published = 0;
+  std::uint64_t snapshot_reads = 0;
+  std::uint64_t snapshot_fallbacks = 0;
   std::vector<std::uint64_t> reads_per_consumer;     // fields served per consumer
   std::vector<std::uint64_t> admitted_per_consumer;  // admission grants per consumer
   CacheStats cache;          // summed over nodes (peaks: max)
@@ -98,6 +113,14 @@ class ConsumerFleet {
   /// to ioserver::PipelineConfig::on_field_stored; safe no-op before spawn()
   /// or with notifications disabled.
   void notify(const fdb::FieldKey& key, Bytes size);
+
+  /// Write-path publication notification (snapshot_reads): `step` committed
+  /// at publication `epoch`.  Every field stored before this commit is
+  /// covered by it, so all held announcements are released to the consumers,
+  /// stamped with `epoch` to pin during their reads.  Wire to
+  /// ioserver::PipelineConfig::on_step_committed; safe no-op before spawn()
+  /// or with snapshot_reads disabled.
+  void notify_committed(std::uint32_t step, daos::Epoch epoch);
 
   /// Signals that the write path finished: no further fields will land, so
   /// a poll pass finding nothing new becomes authoritative for failing any

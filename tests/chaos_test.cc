@@ -84,6 +84,12 @@ Scenario make_scenario(std::uint64_t seed) {
   sc.params.field_size = rng.next_below(2) == 0 ? 64_KiB : 256_KiB;
   sc.params.verify_payload = true;
   sc.params.log_detail_capacity = 4096;  // >= every op, for SimChecker
+  // Pattern B runs under genuine snapshot isolation: writers publish every
+  // re-write with commit(), readers pin a committed epoch and verify the
+  // pinned version byte-stably (field_bench.cc) — a torn read under faults
+  // fails the scenario.  The retention depth is part of the derived shape.
+  sc.cfg.model.epoch_retention_depth = 2 + rng.next_below(7);  // 2-8
+  if (sc.pattern == 'B') sc.params.snapshot_reads = true;
   return sc;
 }
 
@@ -96,6 +102,7 @@ struct Outcome {
   std::uint64_t fingerprint = 0;
   std::uint64_t retries = 0;
   std::uint64_t faults_fired = 0;
+  std::uint64_t snapshot_reads = 0;
 };
 
 std::uint64_t fp(std::uint64_t h, std::uint64_t v) { return mix64(h ^ mix64(v)); }
@@ -147,12 +154,34 @@ Outcome run_scenario(std::uint64_t seed) {
   checker.check_log(result.read_log, sched.now(), "read log");
   out.violations = checker.violations();
 
+  // Snapshot-isolation bookkeeping must balance at quiescence: a leaked pin
+  // would wedge epoch aggregation forever.
+  const daos::EpochStats pin_check = cluster.epoch_stats();
+  if (pin_check.snapshots_opened != pin_check.snapshots_released) {
+    out.violations.push_back("leaked snapshot pins: opened " +
+                             std::to_string(pin_check.snapshots_opened) + ", released " +
+                             std::to_string(pin_check.snapshots_released));
+  }
+
   std::uint64_t h = fp(0x5eedull, seed);
   h = log_fingerprint(h, result.write_log);
   h = log_fingerprint(h, result.read_log);
   h = fp(h, static_cast<std::uint64_t>(sched.now()));
   h = fp(h, cluster.flows().stats().flows_completed);
   h = fp(h, cluster.flows().stats().bytes_delivered);
+  // Epoch/MVCC activity is part of the deterministic surface: commits,
+  // snapshot pins, copy-on-write bytes and pruning must replay bit-identical.
+  out.snapshot_reads = result.snapshot_reads;
+  const daos::EpochStats epochs = cluster.epoch_stats();
+  h = fp(h, epochs.commits);
+  h = fp(h, epochs.snapshots_opened);
+  h = fp(h, epochs.snapshots_released);
+  h = fp(h, epochs.cow_bytes);
+  h = fp(h, epochs.versions_pruned);
+  h = fp(h, epochs.bytes_reclaimed);
+  h = fp(h, result.snapshot_reads);
+  h = fp(h, result.snapshot_pin_retries);
+  h = fp(h, result.snapshot_fallbacks);
   if (const fault::FaultPlan* plan = cluster.fault_plan()) {
     const fault::FaultStats& fs = plan->stats();
     out.faults_fired = fs.rpc_drops + fs.transient_errors + fs.outage_rejections + fs.windows_applied;
@@ -187,6 +216,7 @@ TEST(ChaosSweep, DefaultProfileHoldsInvariants) {
 
   std::uint64_t total_retries = 0;
   std::uint64_t faulted_scenarios = 0;
+  std::uint64_t total_snapshot_reads = 0;
   for (std::uint64_t seed = base; seed < base + count; ++seed) {
     const Outcome& out = outcomes[seed - base];
     const std::string repro = "replay: NWS_CHAOS_SEED=" + std::to_string(seed) +
@@ -200,6 +230,7 @@ TEST(ChaosSweep, DefaultProfileHoldsInvariants) {
     }
     total_retries += out.retries;
     if (out.faults_fired > 0) ++faulted_scenarios;
+    total_snapshot_reads += out.snapshot_reads;
   }
 
   // The sweep must actually exercise the fault machinery, not vacuously
@@ -209,6 +240,10 @@ TEST(ChaosSweep, DefaultProfileHoldsInvariants) {
   if (std::getenv("NWS_CHAOS_SEED") == nullptr) {
     EXPECT_GT(faulted_scenarios, count / 2) << "chaos profile injected almost nothing";
     EXPECT_GT(total_retries, 0u) << "no operation ever retried across the sweep";
+    // Roughly half the scenarios are pattern B with snapshot isolation on;
+    // pinned verified reads must actually happen, or the torn-read checker
+    // is passing vacuously.
+    EXPECT_GT(total_snapshot_reads, 0u) << "no pinned snapshot read across the sweep";
   }
 }
 

@@ -55,6 +55,45 @@ TEST(ClientKvTest, RemoveAndListThroughApi) {
   });
 }
 
+TEST(ClientEpochSurfaceTest, SnapshotHandlesAreStrictlyReadOnly) {
+  // The epoch API's error surface at the client layer (docs/EPOCHS.md):
+  // every mutation through a pinned handle is rejected up front, and the
+  // epoch operations themselves reject the wrong handle kind.
+  DaosFixture fx(daos::PayloadMode::full);
+  fx.run([](daos::Client& c) -> sim::Task<void> {
+    daos::ContHandle cont = co_await c.main_cont_open();
+    daos::KvHandle kv =
+        co_await c.kv_open(cont, ObjectId::generate(8, 1, ObjectType::key_value, ObjectClass::SX));
+    (co_await c.kv_put(kv, "k", "committed")).expect_ok("put");
+    const daos::Epoch epoch = (co_await c.cont_commit(cont)).value();
+
+    daos::ContHandle snap = (co_await c.cont_snapshot(cont, epoch)).value();
+    daos::KvHandle pinned = co_await c.kv_open(snap, kv.oid);
+    EXPECT_EQ((co_await c.kv_put(pinned, "k", "x")).code(), Errc::invalid);
+    EXPECT_EQ((co_await c.kv_remove(pinned, "k")).code(), Errc::invalid);
+    const ObjectId array_oid = ObjectId::generate(8, 2, ObjectType::array, ObjectClass::S1);
+    EXPECT_EQ((co_await c.array_create(snap, array_oid, 1, 1_MiB)).status().code(), Errc::invalid);
+    EXPECT_EQ((co_await c.array_destroy(snap, array_oid)).code(), Errc::invalid);
+    // Epoch ops on the wrong handle kind: commit needs a live handle, close
+    // needs a pinned one.
+    EXPECT_EQ((co_await c.cont_commit(snap)).status().code(), Errc::invalid);
+    EXPECT_EQ((co_await c.snapshot_close(cont)).code(), Errc::invalid);
+
+    // A key written after the pin is invisible through it, including listing.
+    (co_await c.kv_put(kv, "later", "v")).expect_ok("put");
+    (co_await c.cont_commit(cont)).value();
+    EXPECT_EQ((co_await c.kv_get(pinned, "later")).status().code(), Errc::not_found);
+    EXPECT_EQ((co_await c.kv_list(pinned)).size(), 1u);
+    EXPECT_EQ((co_await c.kv_list(kv)).size(), 2u);
+
+    // An array created after the pin does not exist in the snapshot.
+    (co_await c.array_create(cont, array_oid, 1, 1_MiB)).value();
+    EXPECT_EQ((co_await c.array_open(snap, array_oid)).status().code(), Errc::not_found);
+    (co_await c.snapshot_close(snap)).expect_ok("close");
+    co_return;
+  });
+}
+
 TEST(PlacementTest, SxKvShardsSpreadAcrossEngines) {
   // A shared SX Key-Value must distribute dkeys over every engine, or the
   // Fig. 4 contention model would concentrate on one socket.
