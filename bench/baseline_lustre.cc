@@ -18,7 +18,7 @@
 
 #include "bench_util.h"
 #include "harness/experiment.h"
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 #include "lustre/lustre.h"
 #include "sim/sync.h"
 
@@ -146,7 +146,7 @@ double run_lustre_shared_file(const lustre::LustreConfig& cfg, std::size_t procs
   const std::size_t procs = cfg.client_nodes * procs_per_node;
   auto created = std::make_shared<sim::CountDownLatch>(sched, 1);
 
-  auto writer = [](lustre::LustreSystem& sys, sim::CountDownLatch& latch, bench::IoLog& log,
+  auto writer = [](lustre::LustreSystem& sys, sim::CountDownLatch& latch, bench::IoLog& io_log,
                    std::uint32_t rank, Bytes bytes) -> sim::Task<void> {
     lustre::LustreClient client(sys, sys.client_endpoint(rank % sys.config().client_nodes, rank),
                                 rank);
@@ -160,7 +160,7 @@ double run_lustre_shared_file(const lustre::LustreConfig& cfg, std::size_t procs
     }
     const sim::TimePoint t0 = sys.scheduler().now();
     (co_await client.write(file, static_cast<Bytes>(rank) * bytes, bytes)).expect_ok("write");
-    log.record(0, rank, 0, t0, sys.scheduler().now(), bytes);
+    io_log.record(0, rank, 0, t0, sys.scheduler().now(), bytes);
   };
   for (std::uint32_t r = 0; r < procs; ++r) sched.spawn(writer(system, *created, log, r, op_size));
   sched.run();

@@ -73,11 +73,11 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(retention), "failed", summary.failure});
       continue;
     }
-    const auto counter = [&](const char* name) {
+    const auto metric_value = [&](const char* name) {
       return summary.metrics.has(name) ? summary.metrics.value(name) : 0.0;
     };
-    const double payload = counter("fdb.bytes_written");
-    const double cow = counter("epoch.cow_bytes");
+    const double payload = metric_value("fdb.bytes_written");
+    const double cow = metric_value("epoch.cow_bytes");
     const double write_amp = payload > 0.0 ? 1.0 + cow / payload : 1.0;
     double read_p95_ms = 0.0;
     const auto& metric_map = summary.metrics.metrics();
@@ -89,10 +89,10 @@ int main(int argc, char** argv) {
                    strf("%.2f", summary.write.empty() ? 0.0 : summary.write.mean()),
                    strf("%.2f", summary.read.empty() ? 0.0 : summary.read.mean()),
                    strf("%.3f", write_amp), strf("%.3f", read_p95_ms),
-                   strf("%.0f", counter("fdb.snapshot_verified_reads")),
-                   strf("%.0f", counter("fdb.snapshot_fallbacks")),
-                   strf("%.0f", counter("fdb.snapshot_pin_retries")),
-                   strf("%.1f", counter("epoch.live_version_bytes") / (1024.0 * 1024.0))});
+                   strf("%.0f", metric_value("fdb.snapshot_verified_reads")),
+                   strf("%.0f", metric_value("fdb.snapshot_fallbacks")),
+                   strf("%.0f", metric_value("fdb.snapshot_pin_retries")),
+                   strf("%.1f", metric_value("epoch.live_version_bytes") / (1024.0 * 1024.0))});
   }
 
   std::cout << "expected: write amplification 1.0 at retention 0 (snapshots disabled, all\n"

@@ -1,12 +1,18 @@
 // Validates the --trace / --report JSON artifacts the bench binaries emit.
 //
-//   obs_lint --trace=FILE    # Chrome trace_event JSON (Perfetto-loadable)
-//   obs_lint --report=FILE   # nws-report-v1 run report
+//   obs_lint [--schema=scripts/obs_schema.txt] --trace=FILE --report=FILE ...
 //
-// Exit 0 if every given artifact is well-formed, non-empty and
-// internally consistent; exit 1 with a diagnostic otherwise.  Used by the
+// Exit 0 if every given artifact is well-formed, non-empty and internally
+// consistent; exit 1 with a diagnostic otherwise.  Used by the
 // scripts/check.sh artifact stage; kept free of third-party dependencies by
 // building on the obs JSON parser.
+//
+// With --schema, every span name/category and metric name/kind in the
+// artifacts is checked against the same registry file tools/nwslint
+// enforces statically (docs/LINTING.md) — the static pass closes literal
+// names at their emission sites, this runtime pass closes names assembled
+// dynamically (e.g. the io.<side>.<stat> families).  Without --schema only
+// structural shape and the epoch accounting invariants are checked.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -14,10 +20,12 @@
 
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/schema.h"
 
 namespace {
 
 using nws::obs::JsonValue;
+using nws::obs::SchemaRegistry;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -27,15 +35,8 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-/// Span names of the epoch subsystem (daos::Client epoch operations) — a
-/// typo'd or ad-hoc epoch span is an accounting bug, not a new feature.
-bool known_epoch_span(const std::string& name) {
-  return name == "epoch.commit" || name == "epoch.snapshot" || name == "epoch.snapshot_close" ||
-         name == "epoch.query";
-}
-
 /// Throws std::runtime_error with a diagnostic on the first violation.
-void lint_trace(const JsonValue& doc) {
+void lint_trace(const JsonValue& doc, const SchemaRegistry* schema) {
   if (!doc.is_object()) throw std::runtime_error("top level is not an object");
   const JsonValue* events = doc.find("traceEvents");
   if (events == nullptr || !events->is_array()) {
@@ -56,9 +57,17 @@ void lint_trace(const JsonValue& doc) {
     if (ph->str != "X") throw std::runtime_error(at + " has unexpected ph " + ph->str);
     ++spans;
     const JsonValue* name = ev.find("name");
-    if (name != nullptr && name->is_string() && name->str.rfind("epoch.", 0) == 0 &&
-        !known_epoch_span(name->str)) {
-      throw std::runtime_error(at + " has unknown epoch span name " + name->str);
+    if (schema != nullptr && name != nullptr && name->is_string()) {
+      const std::string* category = schema->span_category(name->str);
+      if (category == nullptr) {
+        throw std::runtime_error(at + " span name " + name->str +
+                                 " is not in the obs schema registry");
+      }
+      const JsonValue* cat = ev.find("cat");
+      if (cat != nullptr && cat->is_string() && cat->str != *category) {
+        throw std::runtime_error(at + " span " + name->str + " has category " + cat->str +
+                                 ", registry says " + *category);
+      }
     }
     const JsonValue* ts = ev.find("ts");
     const JsonValue* dur = ev.find("dur");
@@ -75,10 +84,11 @@ void lint_trace(const JsonValue& doc) {
   std::cout << "trace ok: " << spans << " spans\n";
 }
 
-void lint_report(const JsonValue& doc) {
+void lint_report(const JsonValue& doc, const SchemaRegistry* schema) {
   if (!doc.is_object()) throw std::runtime_error("top level is not an object");
-  const JsonValue* schema = doc.find("schema");
-  if (schema == nullptr || !schema->is_string() || schema->str != nws::obs::kReportSchema) {
+  const JsonValue* report_schema = doc.find("schema");
+  if (report_schema == nullptr || !report_schema->is_string() ||
+      report_schema->str != nws::obs::kReportSchema) {
     throw std::runtime_error(std::string("schema is not ") + nws::obs::kReportSchema);
   }
   const JsonValue* bench = doc.find("bench");
@@ -112,10 +122,23 @@ void lint_report(const JsonValue& doc) {
     if (!metric.is_object() || kind == nullptr || !kind->is_string()) {
       throw std::runtime_error("metric " + name + " has no kind");
     }
+    // Name/kind closure against the shared registry: the metric namespace
+    // is closed, and a kind flip (counter emitted as gauge) is a bug even
+    // when the name is known.
+    if (schema != nullptr) {
+      const std::string* registered = schema->metric_kind(name);
+      if (registered == nullptr) {
+        throw std::runtime_error("metric " + name + " is not in the obs schema registry");
+      }
+      if (*registered != kind->str) {
+        throw std::runtime_error("metric " + name + " has kind " + kind->str +
+                                 ", registry says " + *registered);
+      }
+    }
   }
 
   // The epoch.* namespace (docs/EPOCHS.md) is a closed accounting scheme:
-  // every name has a fixed kind, and the counters must be mutually
+  // beyond per-name registration, the counters must be mutually
   // consistent — malformed epoch accounting fails the artifact stage.
   const auto epoch_value = [&](const char* name, bool* present = nullptr) -> double {
     const JsonValue* metric = metrics->find(name);
@@ -131,22 +154,6 @@ void lint_report(const JsonValue& doc) {
   for (const auto& [name, metric] : metrics->object) {
     if (name.rfind("epoch.", 0) != 0) continue;
     any_epoch = true;
-    const char* expected_kind = nullptr;
-    if (name == "epoch.commits" || name == "epoch.snapshots_opened" ||
-        name == "epoch.snapshots_released" || name == "epoch.cow_bytes" ||
-        name == "epoch.versions_pruned" || name == "epoch.bytes_reclaimed") {
-      expected_kind = "counter";
-    } else if (name == "epoch.live_versions" || name == "epoch.live_version_bytes" ||
-               name == "epoch.retention_depth") {
-      expected_kind = "gauge";
-    } else {
-      throw std::runtime_error("unknown epoch metric " + name);
-    }
-    const JsonValue* kind = metric.find("kind");
-    if (kind->str != expected_kind) {
-      throw std::runtime_error("epoch metric " + name + " has kind " + kind->str + ", expected " +
-                               expected_kind);
-    }
     const JsonValue* value = metric.find("value");
     if (value == nullptr || !value->is_number() || value->number < 0.0) {
       throw std::runtime_error("epoch metric " + name + " has no non-negative value");
@@ -169,22 +176,42 @@ void lint_report(const JsonValue& doc) {
             << metrics->object.size() << " metrics\n";
 }
 
+void usage() { std::cerr << "usage: obs_lint [--schema=FILE] [--trace=FILE] [--report=FILE]\n"; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The registry flag applies to every artifact, regardless of order.
+  SchemaRegistry registry;
+  const SchemaRegistry* schema = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--schema=", 0) == 0) {
+      try {
+        registry = SchemaRegistry::load(arg.substr(9));
+      } catch (const std::exception& e) {
+        std::cerr << arg << ": " << e.what() << "\n";
+        return 2;
+      }
+      schema = &registry;
+    }
+  }
+
   int checked = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto check = [&](const std::string& prefix, void (*lint)(const JsonValue&)) {
+    if (arg.rfind("--schema=", 0) == 0) continue;
+    const auto check = [&](const std::string& prefix,
+                           void (*lint)(const JsonValue&, const SchemaRegistry*)) {
       if (arg.rfind(prefix, 0) != 0) return false;
       const std::string path = arg.substr(prefix.size());
-      lint(nws::obs::parse_json(read_file(path)));
+      lint(nws::obs::parse_json(read_file(path)), schema);
       ++checked;
       return true;
     };
     try {
       if (!check("--trace=", lint_trace) && !check("--report=", lint_report)) {
-        std::cerr << "usage: obs_lint [--trace=FILE] [--report=FILE]\n";
+        usage();
         return 2;
       }
     } catch (const std::exception& e) {
@@ -193,7 +220,7 @@ int main(int argc, char** argv) {
     }
   }
   if (checked == 0) {
-    std::cerr << "usage: obs_lint [--trace=FILE] [--report=FILE]\n";
+    usage();
     return 2;
   }
   return 0;

@@ -26,6 +26,7 @@
 namespace nws::bench {
 namespace {
 
+// NWSLINT(allow:determinism): selfprof measures real wall-clock throughput of the simulator itself
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {

@@ -3,10 +3,11 @@
 // Runs a scripted sequence of operations against one simulated cluster —
 // useful for exploring the object layout each mode produces.
 //
-//   $ ./examples/fieldio_cli --mode=full \
-//       --op=write --key=class=od,date=20260705,param=t,level=850 --size-kib=1024 \
-//       --op=read  --key=class=od,date=20260705,param=t,level=850 \
+//   $ ./examples/fieldio_cli --mode=full
+//       --op=write --key=class=od,date=20260705,param=t,level=850 --size-kib=1024
+//       --op=read  --key=class=od,date=20260705,param=t,level=850
 //       --op=stats
+//   (one shell line; wrapped here for readability)
 //
 // Each --op consumes the preceding --key/--size-kib values.  Supported ops:
 // write, read, list (forecasts, or the fields of --key's forecast), stats.

@@ -20,7 +20,7 @@
 #include "daos/client.h"
 #include "daos/cluster.h"
 #include "fdb/field_io.h"
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 #include "sim/sync.h"
 
 using namespace nws;
@@ -77,7 +77,7 @@ sim::Task<void> product_generator(daos::Cluster& cluster, CycleState& state, std
     for (std::uint32_t f = 0; f < fields_per_step; ++f) {
       const sim::TimePoint t0 = cluster.scheduler().now();
       const auto n = co_await io.read(field_key(step, paired_writer, f), nullptr, field_size);
-      n.value();  // throws on missing field
+      (void)n.value();  // throws on missing field
       state.read_log.record(node, proc, step, t0, cluster.scheduler().now(), field_size);
     }
   }

@@ -14,7 +14,13 @@
 # line-coverage floor in scripts/coverage_baseline.txt via scripts/coverage.py
 # (plain gcov JSON + python3 stdlib; no gcovr dependency).
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--coverage-only] [--jobs N]
+# A lint stage (--lint-only, and the first step of the full run) builds and
+# runs tools/nwslint over src/ bench/ tests/ examples/ tools/: determinism
+# bans, the layer DAG, the obs schema registry and Status discards
+# (docs/LINTING.md).  The plain build also compiles with -DNWS_WERROR=ON so
+# new warnings fail the build.
+#
+# Usage: scripts/check.sh [--lint-only|--plain-only|--sanitize-only|--tsan-only|--coverage-only] [--jobs N]
 #
 # --jobs / -j (or NWS_JOBS) sets both the build parallelism and the
 # experiment-sweep parallelism inside the test binaries; 0 or unset means
@@ -24,19 +30,21 @@ cd "$(dirname "$0")/.."
 
 jobs="${NWS_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 [[ "$jobs" -ge 1 ]] || jobs=$(nproc 2>/dev/null || echo 4)
+run_lint=1
 run_plain=1
 run_sanitize=1
 run_tsan=1
 run_coverage=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --plain-only) run_sanitize=0; run_tsan=0; run_coverage=0 ;;
-    --sanitize-only) run_plain=0; run_tsan=0; run_coverage=0 ;;
-    --tsan-only) run_plain=0; run_sanitize=0; run_coverage=0 ;;
-    --coverage-only) run_plain=0; run_sanitize=0; run_tsan=0 ;;
+    --lint-only) run_plain=0; run_sanitize=0; run_tsan=0; run_coverage=0 ;;
+    --plain-only) run_lint=0; run_sanitize=0; run_tsan=0; run_coverage=0 ;;
+    --sanitize-only) run_lint=0; run_plain=0; run_tsan=0; run_coverage=0 ;;
+    --tsan-only) run_lint=0; run_plain=0; run_sanitize=0; run_coverage=0 ;;
+    --coverage-only) run_lint=0; run_plain=0; run_sanitize=0; run_tsan=0 ;;
     --jobs|-j) shift; jobs="${1:?--jobs needs a value}" ;;
     --jobs=*) jobs="${1#--jobs=}" ;;
-    *) echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only|--coverage-only] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--lint-only|--plain-only|--sanitize-only|--tsan-only|--coverage-only] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -55,26 +63,34 @@ check_artifacts() {
   echo "==> artifact check ($build_dir, fig6_objclass_size --trace/--report)"
   "$build_dir"/bench/fig6_objclass_size --quick --reps=1 --ops=4 \
     --trace="$scratch/trace.json" --report="$scratch/report.json" >/dev/null
-  "$build_dir"/bench/obs_lint --trace="$scratch/trace.json" --report="$scratch/report.json"
+  "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
+    --trace="$scratch/trace.json" --report="$scratch/report.json"
   echo "==> artifact check ($build_dir, micro_components --trace/--report)"
   "$build_dir"/bench/micro_components --benchmark_filter=BM_Md5_1KiB \
     --benchmark_min_time=0.01 \
     --trace="$scratch/micro.trace.json" --report="$scratch/micro.report.json" >/dev/null
-  "$build_dir"/bench/obs_lint --trace="$scratch/micro.trace.json" \
-    --report="$scratch/micro.report.json"
+  "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
+    --trace="$scratch/micro.trace.json" --report="$scratch/micro.report.json"
   # The snapshot bench exercises the epoch.* span/metric namespace, which
   # obs_lint validates as a closed scheme (kinds, names, cross-checks).
   echo "==> artifact check ($build_dir, fig_snapshot_rw --trace/--report)"
   "$build_dir"/bench/fig_snapshot_rw --quick --reps=1 \
     --trace="$scratch/snap.trace.json" --report="$scratch/snap.report.json" >/dev/null
-  "$build_dir"/bench/obs_lint --trace="$scratch/snap.trace.json" \
-    --report="$scratch/snap.report.json"
+  "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
+    --trace="$scratch/snap.trace.json" --report="$scratch/snap.report.json"
   rm -rf "$scratch"
 }
 
+if [[ $run_lint -eq 1 ]]; then
+  echo "==> nwslint (static analysis: determinism, layering, obs schema, status discipline)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DNWS_WERROR=ON
+  cmake --build build -j "$jobs" --target nwslint
+  ./build/tools/nwslint/nwslint
+fi
+
 if [[ $run_plain -eq 1 ]]; then
-  echo "==> plain build (build/)"
-  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  echo "==> plain build (build/, -DNWS_WERROR=ON)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DNWS_WERROR=ON
   cmake --build build -j "$jobs"
   NWS_JOBS="$jobs" ctest --test-dir build --output-on-failure -j "$jobs"
   check_artifacts build

@@ -28,7 +28,7 @@ enum class Errc {
 /// Short stable identifier for an error code, e.g. "not_found".
 const char* errc_name(Errc e);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -56,7 +56,7 @@ class Status {
 
 /// A value or a Status describing why there is none.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design

@@ -162,7 +162,9 @@ Bytes ArrayObject::write(Bytes offset, const std::uint8_t* data, Bytes len, Epoc
   if (len == 0) return 0;
   Bytes cow = 0;
   if (versions_.empty()) {
-    versions_.push_back(Version{epoch});
+    Version initial;
+    initial.epoch = epoch;
+    versions_.push_back(std::move(initial));
   } else if (versions_.back().epoch > epoch) {
     throw std::logic_error("ArrayObject::write at a stale epoch (writes go to the pending epoch)");
   } else if (versions_.back().epoch < epoch) {

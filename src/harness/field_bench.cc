@@ -137,7 +137,10 @@ sim::Task<void> pattern_a_writer(daos::Cluster& cluster, const FieldBenchParams 
                                  IoLog& log, std::uint32_t node, std::uint32_t proc,
                                  std::uint32_t global_rank) {
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x10000u + global_rank);
-  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIoConfig cfg;
+  cfg.mode = params.mode;
+  cfg.kv_class = params.kv_class;
+  cfg.array_class = params.array_class;
   fdb::FieldIo io(client, cfg, global_rank);
   const obs::Actor actor{node, global_rank};
   client.set_trace_actor(actor);
@@ -172,7 +175,10 @@ sim::Task<void> pattern_a_reader(daos::Cluster& cluster, const FieldBenchParams 
                                  IoLog& log, std::uint32_t node, std::uint32_t proc,
                                  std::uint32_t global_rank) {
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x20000u + global_rank);
-  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIoConfig cfg;
+  cfg.mode = params.mode;
+  cfg.kv_class = params.kv_class;
+  cfg.array_class = params.array_class;
   fdb::FieldIo io(client, cfg, 0x8000u + global_rank);
   const obs::Actor actor{node, global_rank};
   client.set_trace_actor(actor);
@@ -215,7 +221,9 @@ sim::Task<void> pattern_a_conductor(Shared& shared) {
 
 FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchParams& params) {
   require_verifiable(cluster, params);
-  FieldBenchResult result{IoLog(params.log_detail_capacity), IoLog(params.log_detail_capacity)};
+  FieldBenchResult result;
+  result.write_log = IoLog(params.log_detail_capacity);
+  result.read_log = IoLog(params.log_detail_capacity);
   const std::size_t nodes = cluster.config().client_nodes;
   const std::size_t ppn = params.processes_per_node;
   const std::size_t procs = nodes * ppn;
@@ -246,7 +254,10 @@ sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams 
                                  IoLog& log, std::uint32_t node, std::uint32_t proc,
                                  std::uint32_t global_rank) {
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x30000u + global_rank);
-  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIoConfig cfg;
+  cfg.mode = params.mode;
+  cfg.kv_class = params.kv_class;
+  cfg.array_class = params.array_class;
   fdb::FieldIo io(client, cfg, global_rank);
   const obs::Actor actor{node, global_rank};
   client.set_trace_actor(actor);
@@ -317,7 +328,10 @@ sim::Task<void> pattern_b_reader(daos::Cluster& cluster, const FieldBenchParams 
                                  IoLog& log, std::uint32_t node, std::uint32_t proc,
                                  std::uint32_t writer_rank, std::uint32_t reader_index) {
   daos::Client client(cluster, cluster.client_endpoint(node, proc), 0x40000u + reader_index);
-  fdb::FieldIoConfig cfg{params.mode, params.kv_class, params.array_class};
+  fdb::FieldIoConfig cfg;
+  cfg.mode = params.mode;
+  cfg.kv_class = params.kv_class;
+  cfg.array_class = params.array_class;
   fdb::FieldIo io(client, cfg, 0xC000u + reader_index);
   const obs::Actor actor{node, reader_index};
   client.set_trace_actor(actor);
@@ -437,7 +451,9 @@ sim::Task<void> pattern_b_conductor(Shared& shared) {
 
 FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchParams& params) {
   require_verifiable(cluster, params);
-  FieldBenchResult result{IoLog(params.log_detail_capacity), IoLog(params.log_detail_capacity)};
+  FieldBenchResult result;
+  result.write_log = IoLog(params.log_detail_capacity);
+  result.read_log = IoLog(params.log_detail_capacity);
   const std::size_t nodes = cluster.config().client_nodes;
   const std::size_t ppn = params.processes_per_node;
   // First half of the client nodes write, second half read.  With a single

@@ -30,7 +30,7 @@
 
 #include "daos/cluster.h"
 #include "fdb/field_io.h"
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 
 namespace nws::bench {
 

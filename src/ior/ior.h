@@ -22,7 +22,7 @@
 
 #include "daos/client.h"
 #include "daos/cluster.h"
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 
 namespace nws::ior {
 

@@ -189,11 +189,11 @@ fdb::FieldKey pipeline_key(std::uint32_t step, std::uint32_t field) {
 }
 
 struct PipelineRun::Impl {
-  Impl(daos::Cluster& cluster, PipelineConfig config)
-      : cluster(cluster),
-        config(std::move(config)),
-        state(cluster.scheduler(), std::max<std::size_t>(1, this->config.io_servers),
-              std::max<std::size_t>(1, this->config.model_processes)) {}
+  Impl(daos::Cluster& run_cluster, PipelineConfig run_config)
+      : cluster(run_cluster),
+        config(std::move(run_config)),
+        state(run_cluster.scheduler(), std::max<std::size_t>(1, config.io_servers),
+              std::max<std::size_t>(1, config.model_processes)) {}
   daos::Cluster& cluster;
   PipelineConfig config;
   PipelineState state;

@@ -1,4 +1,4 @@
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 
 #include <stdexcept>
 

@@ -17,6 +17,10 @@
 // IoLog aggregates incrementally so multi-million-operation workloads do
 // not materialise per-event records; a bounded detail buffer is kept for
 // tests and debugging.
+//
+// Lives in the obs layer (not harness) so that ior can depend on it without
+// closing an include cycle with harness -> ior; the nws::bench namespace is
+// kept for source compatibility with the benchmark-metrics domain it models.
 #pragma once
 
 #include <cstdint>

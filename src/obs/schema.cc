@@ -1,0 +1,82 @@
+#include "obs/schema.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nws::obs {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("obs schema line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+SchemaRegistry SchemaRegistry::parse(const std::string& text) {
+  SchemaRegistry reg;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::vector<std::string> words = split_words(raw);
+    if (words.empty()) continue;
+    const std::string& directive = words[0];
+    if (directive == "category") {
+      if (words.size() != 2) fail(line_no, "category takes exactly one name");
+      if (!reg.categories_.insert(words[1]).second) fail(line_no, "duplicate category " + words[1]);
+    } else if (directive == "span") {
+      if (words.size() != 3) fail(line_no, "span takes <name> <category>");
+      if (reg.categories_.count(words[2]) == 0) {
+        fail(line_no, "span " + words[1] + " uses undeclared category " + words[2]);
+      }
+      if (!reg.spans_.emplace(words[1], words[2]).second) {
+        fail(line_no, "duplicate span " + words[1]);
+      }
+    } else if (directive == "metric") {
+      if (words.size() != 3) fail(line_no, "metric takes <name> <kind>");
+      if (words[2] != "counter" && words[2] != "gauge" && words[2] != "histogram") {
+        fail(line_no, "metric " + words[1] + " has unknown kind " + words[2]);
+      }
+      if (!reg.metrics_.emplace(words[1], words[2]).second) {
+        fail(line_no, "duplicate metric " + words[1]);
+      }
+    } else {
+      fail(line_no, "unknown directive " + directive);
+    }
+  }
+  return reg;
+}
+
+SchemaRegistry SchemaRegistry::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open obs schema " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+const std::string* SchemaRegistry::span_category(const std::string& name) const {
+  const auto it = spans_.find(name);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+const std::string* SchemaRegistry::metric_kind(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+}  // namespace nws::obs

@@ -32,7 +32,7 @@
 #include "daos/cluster.h"
 #include "fdb/field_io.h"
 #include "harness/experiment.h"
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 #include "ioserver/ioserver.h"
 #include "obs/metrics.h"
 #include "pgen/admission.h"

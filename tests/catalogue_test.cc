@@ -110,8 +110,8 @@ TEST_P(CatalogueModes, RewriteKeepsReferencedBytesStable) {
 
 INSTANTIATE_TEST_SUITE_P(IndexedModes, CatalogueModes,
                          ::testing::Values(Mode::full, Mode::no_containers),
-                         [](const auto& info) {
-                           return info.param == Mode::full ? "full" : "no_containers";
+                         [](const auto& mode_info) {
+                           return mode_info.param == Mode::full ? "full" : "no_containers";
                          });
 
 TEST(CatalogueTest, NoIndexModeUnsupported) {
@@ -150,8 +150,8 @@ TEST(CatalogueChaosTest, ListingAndPurgeSurviveInjectedFaults) {
   daos::Cluster cluster(sched, cfg);
   sched.spawn([](daos::Cluster& cl) -> sim::Task<void> {
     daos::Client client(cl, cl.client_endpoint(0, 0), 0);
-    const FieldIoConfig cfg;  // full mode: purge supported
-    FieldIo io(client, cfg, 0);
+    const FieldIoConfig io_cfg;  // full mode: purge supported
+    FieldIo io(client, io_cfg, 0);
     (co_await io.init()).expect_ok("init");
     // Forecast 1: three fields, each written twice (one orphan per field).
     for (int gen = 0; gen < 2; ++gen) {
@@ -164,7 +164,7 @@ TEST(CatalogueChaosTest, ListingAndPurgeSurviveInjectedFaults) {
       (co_await io.write(key_for("20260702", step), nullptr, 2_MiB)).expect_ok("write");
     }
 
-    Catalogue catalogue(client, cfg);
+    Catalogue catalogue(client, io_cfg);
     (co_await catalogue.init()).expect_ok("catalogue init");
     const auto forecasts = co_await catalogue.list_forecasts();
     EXPECT_TRUE(forecasts.is_ok()) << forecasts.status().to_string();
@@ -185,7 +185,9 @@ TEST(CatalogueChaosTest, ListingAndPurgeSurviveInjectedFaults) {
     if (rewritten.empty()) co_return;
     const auto fields = co_await catalogue.list_fields(rewritten);
     EXPECT_TRUE(fields.is_ok()) << fields.status().to_string();
-    if (fields.is_ok()) EXPECT_EQ(fields.value().size(), 3u);
+    if (fields.is_ok()) {
+      EXPECT_EQ(fields.value().size(), 3u);
+    }
 
     // Purge reclaims exactly the orphaned generations, faults notwithstanding.
     const auto purged = co_await catalogue.purge(rewritten);
@@ -196,7 +198,9 @@ TEST(CatalogueChaosTest, ListingAndPurgeSurviveInjectedFaults) {
     // Idempotent: a second purge finds nothing left to destroy.
     const auto again = co_await catalogue.purge(rewritten);
     EXPECT_TRUE(again.is_ok()) << again.status().to_string();
-    if (again.is_ok()) EXPECT_EQ(again.value().arrays_destroyed, 0u);
+    if (again.is_ok()) {
+      EXPECT_EQ(again.value().arrays_destroyed, 0u);
+    }
 
     // The chaos actually bit: operations were re-driven by the retry layer.
     EXPECT_GT(client.stats().op_retries, 0u);

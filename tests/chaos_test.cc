@@ -11,8 +11,9 @@
 // Reproducing a failure: every scenario is a pure function of its seed.  The
 // sweep prints the seed of any violating scenario; replay just that one with
 //
-//   NWS_CHAOS_SEED=<seed> NWS_CHAOS_COUNT=1 \
+//   NWS_CHAOS_SEED=<seed> NWS_CHAOS_COUNT=1
 //       ./chaos_test --gtest_filter=ChaosSweep.DefaultProfileHoldsInvariants
+//   (one shell line; wrapped here for readability)
 //
 // NWS_CHAOS_SEED shifts the sweep's base seed (default 1) and NWS_CHAOS_COUNT
 // its scenario count (default 200), so the same binary serves as both the CI
@@ -45,6 +46,7 @@ namespace {
 using nws::operator""_KiB;
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  // NWSLINT(allow:determinism): replay-knob helper; every call site passes an NWS_* literal
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtoull(value, nullptr, 10);

@@ -63,7 +63,7 @@ TEST(Result, HoldsError) {
   ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.status().code(), Errc::not_found);
   EXPECT_EQ(r.value_or(-1), -1);
-  EXPECT_THROW(r.value(), std::runtime_error);
+  EXPECT_THROW((void)r.value(), std::runtime_error);
 }
 
 TEST(Result, OkStatusWithoutValueIsALogicError) {

@@ -81,13 +81,14 @@ TEST(ClientEpochSurfaceTest, SnapshotHandlesAreStrictlyReadOnly) {
 
     // A key written after the pin is invisible through it, including listing.
     (co_await c.kv_put(kv, "later", "v")).expect_ok("put");
-    (co_await c.cont_commit(cont)).value();
+    [[maybe_unused]] const auto committed = (co_await c.cont_commit(cont)).value();
     EXPECT_EQ((co_await c.kv_get(pinned, "later")).status().code(), Errc::not_found);
     EXPECT_EQ((co_await c.kv_list(pinned)).size(), 1u);
     EXPECT_EQ((co_await c.kv_list(kv)).size(), 2u);
 
     // An array created after the pin does not exist in the snapshot.
-    (co_await c.array_create(cont, array_oid, 1, 1_MiB)).value();
+    [[maybe_unused]] const auto created =
+        (co_await c.array_create(cont, array_oid, 1, 1_MiB)).value();
     EXPECT_EQ((co_await c.array_open(snap, array_oid)).status().code(), Errc::not_found);
     (co_await c.snapshot_close(snap)).expect_ok("close");
     co_return;

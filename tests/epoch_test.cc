@@ -41,6 +41,7 @@ using daos::ObjectId;
 using daos::ObjectType;
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  // NWSLINT(allow:determinism): replay-knob helper; every call site passes an NWS_* literal
   const char* value = std::getenv(name);
   return value == nullptr ? fallback : std::strtoull(value, nullptr, 10);
 }
@@ -470,8 +471,8 @@ TEST_P(FieldIoEpochModes, CommitPinReadRoundtrip) {
 INSTANTIATE_TEST_SUITE_P(AllModes, FieldIoEpochModes,
                          ::testing::Values(fdb::Mode::full, fdb::Mode::no_containers,
                                            fdb::Mode::no_index),
-                         [](const auto& info) {
-                           std::string name = fdb::mode_name(info.param);
+                         [](const auto& mode_info) {
+                           std::string name = fdb::mode_name(mode_info.param);
                            for (char& c : name) {
                              if (c == ' ') c = '_';
                            }

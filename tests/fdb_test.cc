@@ -190,8 +190,8 @@ TEST_P(FieldIoModes, RewriteReturnsLatestData) {
 
 INSTANTIATE_TEST_SUITE_P(AllModes, FieldIoModes,
                          ::testing::Values(Mode::full, Mode::no_containers, Mode::no_index),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& mode_info) {
+                           switch (mode_info.param) {
                              case Mode::full: return "full";
                              case Mode::no_containers: return "no_containers";
                              case Mode::no_index: return "no_index";

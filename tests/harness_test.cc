@@ -10,7 +10,7 @@
 
 #include "harness/experiment.h"
 #include "harness/field_bench.h"
-#include "harness/io_log.h"
+#include "obs/io_log.h"
 #include "harness/run_pool.h"
 #include "ior/ior.h"
 #include "mpibench/mpibench.h"
@@ -202,8 +202,8 @@ TEST_P(FieldPatternModes, PatternBOverlapsWritersAndReaders) {
 INSTANTIATE_TEST_SUITE_P(AllModes, FieldPatternModes,
                          ::testing::Values(fdb::Mode::full, fdb::Mode::no_containers,
                                            fdb::Mode::no_index),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& mode_info) {
+                           switch (mode_info.param) {
                              case fdb::Mode::full: return "full";
                              case fdb::Mode::no_containers: return "no_containers";
                              case fdb::Mode::no_index: return "no_index";

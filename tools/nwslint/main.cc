@@ -1,0 +1,56 @@
+// nwslint CLI — see lint.h for the rule families and docs/LINTING.md for
+// the full contract.
+//
+//   nwslint [--conf=scripts/nwslint.conf] [--schema=scripts/obs_schema.txt]
+//           [--repo=DIR] [ROOT...]
+//
+// ROOTs are repo-relative directories (or single files) to lint; the
+// default set is src bench tests examples tools.  Exit 0 when clean, 1 with
+// one "file:line: [rule] message" diagnostic per finding otherwise, 2 on
+// usage or configuration errors.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string conf = "scripts/nwslint.conf";
+  std::string schema = "scripts/obs_schema.txt";
+  std::string repo = ".";
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--conf=", 0) == 0) {
+      conf = arg.substr(7);
+    } else if (arg.rfind("--schema=", 0) == 0) {
+      schema = arg.substr(9);
+    } else if (arg.rfind("--repo=", 0) == 0) {
+      repo = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      std::cerr << "usage: nwslint [--conf=FILE] [--schema=FILE] [--repo=DIR] [ROOT...]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "bench", "tests", "examples", "tools"};
+
+  try {
+    const nws::lint::Config config =
+        nws::lint::load_config(repo + "/" + conf, repo + "/" + schema);
+    const std::vector<nws::lint::Finding> findings = nws::lint::lint_tree(repo, roots, config);
+    for (const nws::lint::Finding& finding : findings) {
+      std::cerr << finding.to_string() << "\n";
+    }
+    if (!findings.empty()) {
+      std::cerr << "nwslint: " << findings.size() << " finding(s)\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "nwslint: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "nwslint ok\n";
+  return 0;
+}
