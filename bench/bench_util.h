@@ -35,7 +35,10 @@ inline void add_common_flags(Cli& cli) {
 ///
 /// --trace forces 1: spans reach the recorder through a thread-local
 /// pointer, so traced repetitions must run inline on the main thread (where
-/// the ScopedClock epoch shift chains them onto one timeline).
+/// the ScopedClock epoch shift chains them onto one timeline).  This only
+/// constrains repetition sweeps — partitioned-scheduler workers trace at
+/// any count, because the window protocol installs a per-partition recorder
+/// around every execution slice and merges timelines deterministically.
 inline std::size_t resolve_jobs(const Cli& cli) {
   std::size_t jobs = normalize_jobs(static_cast<std::size_t>(cli.get_int("jobs")));
   if (!cli.get("trace").empty()) jobs = 1;
@@ -58,7 +61,19 @@ class BenchObs {
   BenchObs(const Cli& cli, const std::string& bench_name)
       : trace_path_(cli.get("trace")), report_path_(cli.get("report")), report_(bench_name) {
     report_.set_config(cli.entries());
-    if (!trace_path_.empty()) session_.emplace(recorder_);
+    if (!trace_path_.empty()) {
+      // Spans stream to disk as the closed prefix grows: long campaigns keep
+      // a bounded in-memory window instead of the whole timeline (the
+      // recorder holds at most its buffer cap of undrained spans).
+      trace_out_.open(trace_path_);
+      if (trace_out_) {
+        recorder_.stream_to(trace_out_);
+      } else {
+        std::cerr << "cannot write trace file: " << trace_path_ << "\n";
+        trace_failed_ = true;
+      }
+      session_.emplace(recorder_);
+    }
   }
 
   void add_table(const std::string& title, const Table& table) { report_.add_table(title, table); }
@@ -68,14 +83,15 @@ class BenchObs {
   /// and returns the binary's exit code.
   int finish() {
     if (!trace_path_.empty()) {
-      std::ofstream out(trace_path_);
-      if (!out) {
-        std::cerr << "cannot write trace file: " << trace_path_ << "\n";
+      if (trace_failed_) return 1;
+      const std::size_t spans = recorder_.span_count();
+      recorder_.finish_stream();
+      trace_out_.close();
+      if (!trace_out_) {
+        std::cerr << "error writing trace file: " << trace_path_ << "\n";
         return 1;
       }
-      recorder_.write_chrome_json(out);
-      std::cout << "(trace written to " << trace_path_ << ", " << recorder_.span_count()
-                << " spans)\n";
+      std::cout << "(trace streamed to " << trace_path_ << ", " << spans << " spans)\n";
     }
     if (!report_path_.empty()) {
       report_.write_json_file(report_path_);
@@ -87,6 +103,8 @@ class BenchObs {
  private:
   std::string trace_path_;
   std::string report_path_;
+  std::ofstream trace_out_;  // open for the whole run while --trace is set
+  bool trace_failed_ = false;
   obs::TraceRecorder recorder_;
   std::optional<obs::TraceSession> session_;  // engaged while --trace is set
   obs::RunReport report_;

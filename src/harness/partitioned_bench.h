@@ -1,0 +1,62 @@
+// Partitioned (time-parallel) field-benchmark campaigns.
+//
+// The follow-up paper's operational-scale runs are campaigns of many model
+// shards: each shard is a self-contained DAOS deployment (its own servers,
+// clients and FDB pool — the sharded-pool layout of "Reducing the Impact of
+// I/O Contention in NWP Workflows at Scale Using DAOS") running the field
+// workload, with shards coupled only through light cross-shard coordination
+// traffic on the campaign fabric.  That structure maps exactly onto
+// conservative PDES: one sim::PartitionedScheduler partition per shard, the
+// campaign fabric's minimum cross-shard link latency as the lookahead, and
+// the coordination messages as the cross-partition events.
+//
+// Determinism contract (the --jobs gate): the partition count is part of
+// the scenario, `jobs` only maps partitions onto worker threads, and every
+// fold below walks shards in index order — so the returned outcome is
+// bit-identical for any jobs value, including 1.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/experiment.h"
+#include "net/partition.h"
+#include "sim/partition.h"
+
+namespace nws::bench {
+
+struct PartitionedRunParams {
+  FieldBenchParams field;
+  char pattern = 'A';
+  /// Model shards == scheduler partitions.  Scenario-defining: changing it
+  /// changes the simulated system (unlike jobs).
+  std::size_t shards = 4;
+  /// Worker threads for the window protocol (what --jobs resolves to).
+  std::size_t jobs = 1;
+  /// Cross-shard coordination cadence: every shard broadcasts a progress
+  /// token to every peer once per interval (simulated time), `gossip_rounds`
+  /// times.  Tokens ride the campaign fabric, so they arrive one cross-shard
+  /// latency later — legal cross-window traffic by construction.
+  sim::Duration gossip_interval = sim::milliseconds(50);
+  std::uint32_t gossip_rounds = 8;
+  std::size_t mailbox_capacity = sim::SpscMailbox::kDefaultCapacity;
+};
+
+struct PartitionedOutcome {
+  /// Shard-folded outcome (bandwidths summed, metrics folded in shard
+  /// order, sim.partition.* protocol counters appended).
+  RunOutcome outcome;
+  sim::PartitionRunStats stats;
+  sim::Duration lookahead = 0;
+  double sim_seconds = 0.0;  // max shard clock
+};
+
+/// Runs `shards` independent field-workload shards (each a fresh Cluster
+/// built from `shard_cfg` with a shard-specific seed) concurrently under
+/// the conservative window protocol.  Lookahead is derived from a campaign
+/// topology spanning all shards' nodes with shard_cfg's provider; a
+/// zero-latency provider triggers the serial-merged fallback inside the
+/// partitioned scheduler (stats.serial_fallback).
+PartitionedOutcome run_field_partitioned(const daos::ClusterConfig& shard_cfg,
+                                         const PartitionedRunParams& params, std::uint64_t seed);
+
+}  // namespace nws::bench

@@ -5,12 +5,12 @@
 
 namespace nws::bench {
 
-namespace {
-
 std::size_t hardware_jobs() {
   const unsigned n = std::thread::hardware_concurrency();
   return n > 0 ? n : 1;
 }
+
+namespace {
 
 std::atomic<std::size_t>& default_jobs_slot() {
   // Initialised once from NWS_JOBS (0 -> hardware_concurrency); benches
@@ -62,15 +62,20 @@ void RunPool::run(std::size_t n_jobs, const std::function<void(std::size_t)>& bo
     outstanding_ = n_jobs;
     first_error_ = nullptr;
   }
-  // Jobs are dealt round-robin so every worker starts with a contiguous
-  // stride; stealing rebalances from whoever still has the most.  Pushes
-  // happen after the sweep state is published but before the generation
-  // bump: a worker that pops a job (under the queue mutex) always sees the
-  // current body, and a worker woken by the bump always finds the jobs.
-  for (std::size_t job = 0; job < n_jobs; ++job) {
-    WorkerQueue& queue = *queues_[job % queues_.size()];
+  // Jobs are dealt as contiguous blocks so every worker starts on a cache-
+  // friendly index range; stealing rebalances from whoever still has the
+  // most.  Pushes happen after the sweep state is published but before the
+  // generation bump: a worker that pops a job (under the queue mutex) always
+  // sees the current body, and a worker woken by the bump always finds the
+  // jobs.
+  const std::size_t chunk = (n_jobs + queues_.size() - 1) / queues_.size();
+  for (std::size_t w = 0; w < queues_.size(); ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n_jobs, begin + chunk);
+    if (begin >= end) break;
+    WorkerQueue& queue = *queues_[w];
     const std::lock_guard<std::mutex> qlock(queue.mutex);
-    queue.jobs.push_back(job);
+    for (std::size_t job = begin; job < end; ++job) queue.jobs.push_back(job);
   }
   {
     const std::lock_guard<std::mutex> lock(sweep_mutex_);
@@ -79,8 +84,8 @@ void RunPool::run(std::size_t n_jobs, const std::function<void(std::size_t)>& bo
   sweep_start_.notify_all();
 
   // The calling thread participates as worker 0.
-  std::size_t job = 0;
-  while (next_job(0, job)) run_one(0, job);
+  std::vector<std::size_t> batch;
+  while (next_jobs(0, batch)) run_batch(batch);
 
   std::unique_lock<std::mutex> lock(sweep_mutex_);
   sweep_done_.wait(lock, [this] { return outstanding_ == 0; });
@@ -101,20 +106,21 @@ void RunPool::worker_loop(std::size_t self) {
       if (shutdown_) return;
       seen_generation = generation_;
     }
-    std::size_t job = 0;
-    while (next_job(self, job)) run_one(self, job);
+    std::vector<std::size_t> batch;
+    while (next_jobs(self, batch)) run_batch(batch);
   }
 }
 
-bool RunPool::next_job(std::size_t self, std::size_t& job) {
+bool RunPool::next_jobs(std::size_t self, std::vector<std::size_t>& batch) {
+  batch.clear();
   {
     WorkerQueue& own = *queues_[self];
     const std::lock_guard<std::mutex> lock(own.mutex);
-    if (!own.jobs.empty()) {
-      job = own.jobs.front();
+    while (!own.jobs.empty() && batch.size() < kBatch) {
+      batch.push_back(own.jobs.front());
       own.jobs.pop_front();
-      return true;
     }
+    if (!batch.empty()) return true;
   }
   // Steal from the back of the fullest victim.  Queues only drain within a
   // sweep, so a scan that finds every queue empty is definitive.
@@ -131,22 +137,32 @@ bool RunPool::next_job(std::size_t self, std::size_t& job) {
     }
     if (victim == queues_.size()) return false;
     const std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
-    if (queues_[victim]->jobs.empty()) continue;  // lost the race, rescan
-    job = queues_[victim]->jobs.back();
-    queues_[victim]->jobs.pop_back();
+    // Take at most half the victim's remaining work (and no more than a
+    // batch) so a late joiner cannot invert the imbalance it is fixing.
+    std::size_t take = (queues_[victim]->jobs.size() + 1) / 2;
+    take = std::min(take, kBatch);
+    if (take == 0) continue;  // lost the race, rescan
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(queues_[victim]->jobs.back());
+      queues_[victim]->jobs.pop_back();
+    }
     return true;
   }
 }
 
-void RunPool::run_one(std::size_t self, std::size_t job) {
-  (void)self;
-  try {
-    (*body_)(job);
-  } catch (...) {
-    record_failure(job);
+void RunPool::run_batch(const std::vector<std::size_t>& batch) {
+  for (const std::size_t job : batch) {
+    try {
+      (*body_)(job);
+    } catch (...) {
+      record_failure(job);
+    }
   }
+  // One completion update per batch, not per job: the sweep mutex is the
+  // other dispatch-overhead hot spot for short repetitions.
   const std::lock_guard<std::mutex> lock(sweep_mutex_);
-  if (--outstanding_ == 0) sweep_done_.notify_all();
+  outstanding_ -= batch.size();
+  if (outstanding_ == 0) sweep_done_.notify_all();
 }
 
 void RunPool::record_failure(std::size_t job) {

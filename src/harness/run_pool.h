@@ -20,6 +20,7 @@
 // caller's thread (again identical at any thread count).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -49,18 +50,23 @@ class RunPool {
   void run(std::size_t n_jobs, const std::function<void(std::size_t)>& body);
 
  private:
+  /// Jobs popped per queue lock: short repetitions (milliseconds) amortise
+  /// dispatch overhead over a batch instead of paying mutex + condvar
+  /// bookkeeping per job — the BENCH_PR3 sweep.speedup < 1 regression.
+  static constexpr std::size_t kBatch = 8;
+
   struct WorkerQueue {
     std::deque<std::size_t> jobs;
     std::mutex mutex;
   };
 
   void worker_loop(std::size_t self);
-  /// Pops the next job index for worker `self` (own queue front, else steal
-  /// from the back of the longest other queue); returns false when the
-  /// sweep is drained.
-  bool next_job(std::size_t self, std::size_t& job);
+  /// Pops up to kBatch job indices for worker `self` (own queue front, else
+  /// steal from the back of the longest other queue); returns false when
+  /// the sweep is drained.
+  bool next_jobs(std::size_t self, std::vector<std::size_t>& batch);
   void record_failure(std::size_t job);
-  void run_one(std::size_t self, std::size_t job);
+  void run_batch(const std::vector<std::size_t>& batch);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;  // one per participant
   std::vector<std::thread> workers_;
@@ -86,15 +92,22 @@ void set_default_jobs(std::size_t jobs);
 /// `jobs` == 0 -> hardware_concurrency() (minimum 1).
 std::size_t normalize_jobs(std::size_t jobs);
 
+/// std::thread::hardware_concurrency(), minimum 1 — the real core count
+/// BENCH_*.json reports as host_cores.
+std::size_t hardware_jobs();
+
 /// Applies `fn` to every index in [0, n) on a transient RunPool and returns
 /// the results ordered by index — the deterministic fan-out primitive.  With
-/// jobs <= 1 everything runs inline on the calling thread.
+/// jobs <= 1 everything runs inline on the calling thread.  The effective
+/// worker count is capped at hardware_jobs(): CPU-bound simulation jobs only
+/// lose to oversubscription (results are index-ordered either way, so the
+/// cap cannot change them).
 template <typename Fn>
 auto parallel_map(std::size_t n, std::size_t jobs, Fn&& fn)
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using R = decltype(fn(std::size_t{0}));
   std::vector<R> results(n);
-  jobs = normalize_jobs(jobs);
+  jobs = std::min(normalize_jobs(jobs), hardware_jobs());
   if (jobs <= 1 || n <= 1) {
     // Same exception contract as the pool: every job runs, then the first
     // failure (by index) is rethrown.

@@ -1,0 +1,48 @@
+#include "net/partition.h"
+
+#include <algorithm>
+
+namespace nws::net {
+
+PartitionMap make_partition_map(const Topology& topo, std::size_t groups) {
+  const std::size_t nodes = topo.config().nodes;
+  PartitionMap map;
+  map.groups = std::clamp<std::size_t>(groups, 1, nodes == 0 ? 1 : nodes);
+  map.group_of_node.resize(nodes);
+  if (map.groups <= 1) {
+    return map;  // single logical process: no cross traffic, no lookahead
+  }
+
+  // Contiguous blocks, remainder spread over the leading groups.
+  const std::size_t base = nodes / map.groups;
+  const std::size_t extra = nodes % map.groups;
+  std::size_t node = 0;
+  std::vector<std::size_t> first_node(map.groups);
+  for (std::size_t g = 0; g < map.groups; ++g) {
+    first_node[g] = node;
+    const std::size_t size = base + (g < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) map.group_of_node[node++] = g;
+  }
+
+  // Lookahead = min one-way latency over cross-group endpoint pairs.  The
+  // latency model depends only on (rail match, socket crossing), never on
+  // which node — so one representative node per group with all socket
+  // combinations covers every cross-group pair.
+  const std::size_t sockets = topo.config().sockets_per_node;
+  sim::Duration lookahead = sim::TimePoint{INT64_MAX};
+  for (std::size_t ga = 0; ga < map.groups; ++ga) {
+    for (std::size_t gb = 0; gb < map.groups; ++gb) {
+      if (ga == gb) continue;
+      for (std::size_t sa = 0; sa < sockets; ++sa) {
+        for (std::size_t sb = 0; sb < sockets; ++sb) {
+          lookahead = std::min(lookahead, topo.latency(Endpoint{first_node[ga], sa},
+                                                       Endpoint{first_node[gb], sb}));
+        }
+      }
+    }
+  }
+  map.lookahead = lookahead == sim::TimePoint{INT64_MAX} ? 0 : lookahead;
+  return map;
+}
+
+}  // namespace nws::net

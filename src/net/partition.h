@@ -1,0 +1,40 @@
+// Node-group partition map for conservative time-parallel simulation.
+//
+// Splits a Topology's nodes into contiguous groups (one per logical
+// process of a sim::PartitionedScheduler) and derives the conservative
+// lookahead: the minimum one-way latency of any cross-group endpoint pair.
+// Any event one group causes in another travels at least one fabric hop, so
+// it arrives no earlier than sender-now + lookahead — exactly the window
+// slack the partitioned scheduler needs.
+//
+// A topology whose provider has zero message latency yields zero lookahead;
+// the partitioned scheduler then refuses to window and falls back to serial
+// merged execution (with a warning) rather than deadlock or miss events.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace nws::net {
+
+struct PartitionMap {
+  std::size_t groups = 1;
+  /// group_of_node[n] = owning group; nodes are assigned in contiguous
+  /// blocks so same-group traffic stays NUMA-plausible.
+  std::vector<std::size_t> group_of_node;
+  /// Minimum cross-group one-way latency (the conservative window slack).
+  /// Zero when groups <= 1 or the provider is latency-free.
+  sim::Duration lookahead = 0;
+
+  [[nodiscard]] std::size_t group_of(std::size_t node) const { return group_of_node.at(node); }
+};
+
+/// Builds the map for `groups` contiguous node blocks over `topo`.  `groups`
+/// is clamped to [1, nodes]; earlier blocks take the remainder nodes, so
+/// sizes differ by at most one.
+[[nodiscard]] PartitionMap make_partition_map(const Topology& topo, std::size_t groups);
+
+}  // namespace nws::net

@@ -21,10 +21,29 @@
 // destroyed whenever the scheduler drops them), so Span holds an index token
 // into the recorder rather than assuming stack discipline.  Spans still
 // open at export time are clamped to the latest timestamp seen.
+//
+// Two export paths:
+//  - write_chrome_json(): whole-run buffering, spans sorted at the end.
+//  - stream_to()/finish_stream(): bounded in-memory buffer with chunked
+//    incremental writes — million-span runs never hold the full trace in
+//    memory.  Correctness of the streamed order rests on an invariant the
+//    recorder maintains anyway: span *creation* order is nondecreasing in
+//    start time (the simulated clock is monotone within a run and the epoch
+//    shift chains runs monotonically), so flushing the closed prefix in
+//    creation order yields the same ts-sorted artifact the buffered path
+//    produces, and obs_lint's monotonicity check holds.
+//
+// Partitioned runs record into one private TraceRecorder per partition
+// (bound to that partition's scheduler via the explicit ScopedClock
+// constructor, installed per execution slice) and merge them afterwards
+// with absorb() in partition order — a deterministic merge by start time,
+// so the final artifact is bit-identical for any worker count.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <ostream>
 #include <vector>
 
@@ -42,15 +61,20 @@ struct Actor {
 /// Synthetic pid for spans with no client attribution (network flows).
 inline constexpr std::uint32_t kNetworkNode = 0xFFFFu;
 
+class JsonWriter;
+
 class TraceRecorder {
  public:
   /// Opaque span handle; 0 is the invalid token (recording disabled or clock
   /// unbound when the span began).
   using Token = std::uint32_t;
 
+  /// Default bounded-buffer size for streaming mode (spans, not bytes).
+  static constexpr std::size_t kDefaultStreamBuffer = 65536;
+
   struct SpanRecord {
     const char* name;  // static string (span taxonomy, docs/OBSERVABILITY.md)
-    const char* cat;   // static string: "io" | "daos" | "net" | "retry"
+    const char* cat;   // static string: "io" | "daos" | "net" | "retry" | ...
     std::uint64_t start_ns = 0;  // epoch-shifted simulated time
     std::uint64_t end_ns = 0;
     std::uint32_t node = 0;
@@ -63,29 +87,64 @@ class TraceRecorder {
   TraceRecorder() = default;
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder();
 
   /// Begins a span at the current simulated time.  Returns 0 (and records
   /// nothing) while no clock is bound.
   Token begin(const char* name, const char* cat, Actor actor, std::uint32_t iteration = 0,
               double bytes = -1.0);
 
-  /// Ends the span; token 0 and double-end are no-ops.  With the clock
-  /// already unbound the span keeps its start time (zero duration).
+  /// Ends the span; token 0, double-end, and already-flushed tokens are
+  /// no-ops.  With the clock already unbound the span keeps its start time
+  /// (zero duration).
   void end(Token token);
 
-  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
-  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Total spans recorded (streamed-out spans included).
+  [[nodiscard]] std::size_t span_count() const { return flushed_ + spans_.size(); }
+  /// Spans still in memory (all of them unless streaming flushed some).
+  [[nodiscard]] const std::deque<SpanRecord>& spans() const { return spans_; }
+
+  /// Latest epoch-shifted timestamp seen; the next bound run starts here.
+  [[nodiscard]] std::uint64_t high_water() const { return high_water_; }
+  /// Raises the epoch floor so the next bound clock starts at or after `ns`.
+  /// Used to align per-partition recorders with the parent timeline.
+  void seed_epoch(std::uint64_t ns) { high_water_ = std::max(high_water_, ns); }
 
   /// Chrome trace_event JSON: process_name metadata per pid plus one
   /// complete ("ph":"X") event per span, sorted by start time.  Timestamps
   /// are microseconds (the format's unit); still-open spans are clamped.
+  /// Throws std::logic_error in streaming mode (use finish_stream instead).
   void write_chrome_json(std::ostream& os) const;
+
+  /// Switches to streaming export: the JSON prologue is written now, and
+  /// whenever more than `max_buffered` spans are buffered the closed prefix
+  /// is flushed to `os` in creation order (per-pid metadata emitted on first
+  /// use).  `os` must outlive the recorder or a finish_stream() call.
+  /// Throws std::logic_error if already streaming or spans were flushed.
+  void stream_to(std::ostream& os, std::size_t max_buffered = kDefaultStreamBuffer);
+
+  /// Flushes every remaining span (open ones clamped to the high-water
+  /// mark), writes the JSON epilogue, and leaves streaming mode.
+  void finish_stream();
+
+  [[nodiscard]] bool streaming() const { return stream_ != nullptr; }
+
+  /// Merges `other`'s spans into this recorder in start-time order (ties
+  /// keep this recorder's spans first, so absorbing partitions in index
+  /// order is deterministic).  `other` is left empty.  Preconditions: no
+  /// outstanding Span/Token handles into either recorder (merging re-indexes
+  /// the buffers) and `other` is not streaming.  Never flushes a streaming
+  /// buffer, so a sequence of absorbs stays merge-complete before anything
+  /// is written; the buffer may exceed max_buffered until the next record.
+  void absorb(TraceRecorder& other);
 
  private:
   friend class ScopedClock;
 
   void bind_clock(const sim::Scheduler* sched);
   void unbind_clock();
+  void flush_closed_prefix();
+  void write_stream_span(const SpanRecord& s);
 
   [[nodiscard]] std::uint64_t now_ns() const {
     return epoch_ns_ + static_cast<std::uint64_t>(clock_->now());
@@ -94,7 +153,13 @@ class TraceRecorder {
   const sim::Scheduler* clock_ = nullptr;
   std::uint64_t epoch_ns_ = 0;    // shift applied to the bound clock
   std::uint64_t high_water_ = 0;  // latest timestamp recorded so far
-  std::vector<SpanRecord> spans_;
+  std::deque<SpanRecord> spans_;  // deque: streaming pops the closed prefix
+  std::size_t flushed_ = 0;       // spans already streamed out
+
+  // Streaming state (null unless stream_to() is active).
+  std::unique_ptr<JsonWriter> stream_;
+  std::size_t max_buffered_ = kDefaultStreamBuffer;
+  std::vector<std::uint32_t> stream_pids_;  // pids whose metadata was emitted
 };
 
 /// Returns the recorder installed for this thread, or nullptr (tracing off).
@@ -116,11 +181,16 @@ class TraceSession {
 /// Binds the thread's recorder (if any) to `sched` for the scope of one
 /// simulation run.  Placed where the run owns a fresh sim::Scheduler
 /// (run_ior_once / run_field_once / the MPI and Lustre runners); a no-op
-/// when tracing is off.
+/// when tracing is off.  The explicit-recorder constructor binds a specific
+/// recorder instead (per-partition recorders in partitioned runs, which are
+/// not installed thread-locally for the whole run).
 class ScopedClock {
  public:
   explicit ScopedClock(sim::Scheduler& sched) : rec_(current_trace()) {
     if (rec_ != nullptr) rec_->bind_clock(&sched);
+  }
+  ScopedClock(TraceRecorder& rec, sim::Scheduler& sched) : rec_(&rec) {
+    rec_->bind_clock(&sched);
   }
   ScopedClock(const ScopedClock&) = delete;
   ScopedClock& operator=(const ScopedClock&) = delete;

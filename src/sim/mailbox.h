@@ -1,0 +1,103 @@
+// Bounded SPSC mailbox for cross-partition simulation events.
+//
+// Each ordered partition pair (from, to) of a PartitionedScheduler owns one
+// mailbox: the *producer* is the worker thread executing partition `from`
+// inside a window, the *consumer* is the barrier thread that drains every
+// mailbox between windows.  Producers and consumers therefore never run
+// concurrently on the same side; the ring indices still use acquire/release
+// atomics so the hand-off is race-free (and TSan-clean) without relying on
+// the barrier's synchronisation alone.
+//
+// The ring is bounded.  A window that emits more cross-partition events than
+// the ring holds spills to a mutex-protected overflow queue; because the
+// ring only frains at barriers, every spilled event of a window is younger
+// than every ring event of that window, so draining ring-then-overflow
+// preserves the producer's send order exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace nws::sim {
+
+/// One cross-partition event: run `callback` on the destination partition at
+/// absolute simulated time `t`.  `send_seq` is the producer's send order,
+/// kept for the canonical (from, send_seq) delivery sort at barriers.
+struct CrossEvent {
+  TimePoint t = 0;
+  std::uint64_t send_seq = 0;
+  InlineCallback callback;
+};
+
+class SpscMailbox {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit SpscMailbox(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer side.  Never blocks: a full ring spills to the overflow queue.
+  void push(TimePoint t, std::uint64_t send_seq, InlineCallback callback) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head < ring_.size()) {
+      CrossEvent& slot = ring_[tail % ring_.size()];
+      slot.t = t;
+      slot.send_seq = send_seq;
+      slot.callback = std::move(callback);
+      tail_.store(tail + 1, std::memory_order_release);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    ++spills_;
+    overflow_.push_back(CrossEvent{t, send_seq, std::move(callback)});
+  }
+
+  /// Consumer side (producer quiescent): delivers every queued event in send
+  /// order to `deliver(CrossEvent&&)` and empties the mailbox.
+  template <typename Fn>
+  void drain(Fn&& deliver) {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    for (; head != tail; ++head) deliver(std::move(ring_[head % ring_.size()]));
+    head_.store(head, std::memory_order_release);
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    for (CrossEvent& ev : overflow_) deliver(std::move(ev));
+    overflow_.clear();
+  }
+
+  [[nodiscard]] bool empty() const {
+    if (tail_.load(std::memory_order_acquire) != head_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    return overflow_.empty();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events that missed the ring and took the overflow path (monotone).
+  [[nodiscard]] std::uint64_t spills() const {
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    return spills_;
+  }
+
+ private:
+  std::vector<CrossEvent> ring_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  mutable std::mutex overflow_mutex_;
+  std::deque<CrossEvent> overflow_;
+  std::uint64_t spills_ = 0;
+};
+
+}  // namespace nws::sim

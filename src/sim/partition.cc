@@ -1,0 +1,206 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <barrier>
+// NWSLINT(allow-file:determinism): steady_clock here only measures barrier-wait wall time for PartitionRunStats; it never feeds simulated time, seeds, or report output
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/log.h"
+
+namespace nws::sim {
+
+PartitionedScheduler::PartitionedScheduler(PartitionConfig config) : config_(std::move(config)) {
+  if (config_.partitions == 0) throw std::invalid_argument("partitions must be >= 1");
+  parts_.reserve(config_.partitions);
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    auto part = std::make_unique<Part>();
+    part->outbox.reserve(config_.partitions);
+    for (std::size_t q = 0; q < config_.partitions; ++q) {
+      part->outbox.push_back(std::make_unique<SpscMailbox>(config_.mailbox_capacity));
+    }
+    parts_.push_back(std::move(part));
+  }
+}
+
+PartitionedScheduler::~PartitionedScheduler() = default;
+
+void PartitionedScheduler::check_post(std::size_t from, std::size_t to, TimePoint t) const {
+  if (from >= parts_.size() || to >= parts_.size()) {
+    throw std::out_of_range("cross-partition post: bad partition index");
+  }
+  if (from == to) throw std::logic_error("cross-partition post to own partition");
+  if (windowed_ && t < horizon_) {
+    // Delivering below the horizon would mean another partition may already
+    // have executed past t — the conservative invariant is broken, which
+    // points at a lookahead smaller than the real cross-partition latency.
+    throw std::logic_error("cross-partition post below window horizon: lookahead violated");
+  }
+}
+
+void PartitionedScheduler::exec_slice(std::size_t p, TimePoint horizon) {
+  Part& part = *parts_[p];
+  if (part.error) return;  // poisoned: stop advancing, run() terminates at the barrier
+  if (config_.slice_scope) config_.slice_scope(p, true);
+  std::uint64_t ran = 0;
+  try {
+    ran = part.sched.run_until(horizon);
+  } catch (...) {
+    part.error = std::current_exception();
+  }
+  if (config_.slice_scope) config_.slice_scope(p, false);
+  part.executed_in_window = ran;
+  if (ran == 0) ++part.null_windows;
+}
+
+void PartitionedScheduler::drain_all_mailboxes() {
+  // Canonical delivery order — (destination, source, send sequence) — keeps
+  // the destination's (t, seq) tie-break identical for every worker count.
+  for (std::size_t to = 0; to < parts_.size(); ++to) {
+    Scheduler& dst = parts_[to]->sched;
+    for (std::size_t from = 0; from < parts_.size(); ++from) {
+      if (from == to) continue;
+      parts_[from]->outbox[to]->drain([&](CrossEvent&& ev) {
+        ++stats_.cross_events;
+        dst.schedule_callback(ev.t, std::move(ev.callback));
+      });
+    }
+  }
+}
+
+TimePoint PartitionedScheduler::compute_next_horizon() {
+  TimePoint w = Scheduler::kNoEventTime;
+  for (const auto& part : parts_) {
+    w = std::min(w, part->sched.next_event_time());
+    if (part->error) return Scheduler::kNoEventTime;  // terminate: run() rethrows
+  }
+  if (w == Scheduler::kNoEventTime) return Scheduler::kNoEventTime;
+  return w + config_.lookahead;
+}
+
+void PartitionedScheduler::run_serial_merged() {
+  // Zero lookahead admits no safe window: execute the global (t, partition,
+  // seq) merge order on one thread.  post() delivers directly (windowed_ is
+  // false), so conservatism is trivially preserved.
+  NWS_LOG(warn) << "sim: zero cross-partition lookahead, falling back to serial merged "
+                << "execution over " << parts_.size() << " partitions";
+  stats_.serial_fallback = true;
+  for (;;) {
+    std::size_t best = parts_.size();
+    TimePoint best_t = Scheduler::kNoEventTime;
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+      const TimePoint t = parts_[p]->sched.next_event_time();
+      if (t < best_t) {
+        best_t = t;
+        best = p;
+      }
+    }
+    if (best == parts_.size()) return;
+    Part& part = *parts_[best];
+    if (config_.slice_scope) config_.slice_scope(best, true);
+    try {
+      part.sched.step();
+    } catch (...) {
+      part.error = std::current_exception();
+    }
+    if (config_.slice_scope) config_.slice_scope(best, false);
+    if (part.error) return;
+  }
+}
+
+void PartitionedScheduler::run_windowed_single() {
+  windowed_ = true;
+  horizon_ = compute_next_horizon();
+  while (horizon_ != Scheduler::kNoEventTime) {
+    for (std::size_t p = 0; p < parts_.size(); ++p) exec_slice(p, horizon_);
+    drain_all_mailboxes();
+    ++stats_.windows;
+    horizon_ = compute_next_horizon();
+  }
+  windowed_ = false;
+}
+
+void PartitionedScheduler::run_windowed_threaded() {
+  const std::size_t workers = stats_.workers_used;
+  windowed_ = true;
+  horizon_ = compute_next_horizon();
+  bool done = horizon_ == Scheduler::kNoEventTime;
+
+  // Completion step: runs on exactly one thread after all workers arrive, and
+  // its effects happen-before every worker's release from the barrier — so
+  // the drain, the stats updates, and the horizon/done writes need no extra
+  // synchronisation.
+  auto on_window_complete = [&]() noexcept {
+    drain_all_mailboxes();
+    ++stats_.windows;
+    horizon_ = compute_next_horizon();
+    if (horizon_ == Scheduler::kNoEventTime) done = true;
+  };
+  std::barrier barrier(static_cast<std::ptrdiff_t>(workers), on_window_complete);
+
+  std::mutex wait_mutex;
+  double total_wait = 0;
+  auto worker_loop = [&](std::size_t w) {
+    double wait_seconds = 0;
+    while (!done) {
+      for (std::size_t p = w; p < parts_.size(); p += workers) exec_slice(p, horizon_);
+      const auto wait_start = std::chrono::steady_clock::now();
+      barrier.arrive_and_wait();
+      wait_seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start).count();
+    }
+    const std::lock_guard<std::mutex> lock(wait_mutex);
+    total_wait += wait_seconds;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+  stats_.barrier_wait_seconds = total_wait;
+  windowed_ = false;
+}
+
+void PartitionedScheduler::finish_run() {
+  for (const auto& part : parts_) {
+    stats_.events_executed += part->sched.events_executed();
+    stats_.null_windows += part->null_windows;
+    stats_.cross_events += part->direct_cross_events;
+    for (const auto& box : part->outbox) stats_.mailbox_spills += box->spills();
+  }
+  for (const auto& part : parts_) {
+    if (part->error) std::rethrow_exception(part->error);
+    if (auto err = part->sched.first_error()) std::rethrow_exception(err);
+  }
+  std::size_t live = 0;
+  for (const auto& part : parts_) live += part->sched.live_processes();
+  if (live > 0) throw DeadlockError(live);
+}
+
+void PartitionedScheduler::run() {
+  stats_ = PartitionRunStats{};
+  stats_.partitions = parts_.size();
+  stats_.workers_used = std::clamp<std::size_t>(config_.workers, 1, parts_.size());
+
+  if (parts_.size() == 1) {
+    Part& part = *parts_[0];
+    if (config_.slice_scope) config_.slice_scope(0, true);
+    try {
+      part.sched.run_until(Scheduler::kNoEventTime);
+    } catch (...) {
+      part.error = std::current_exception();
+    }
+    if (config_.slice_scope) config_.slice_scope(0, false);
+  } else if (config_.lookahead <= 0) {
+    stats_.workers_used = 1;
+    run_serial_merged();
+  } else if (stats_.workers_used == 1) {
+    run_windowed_single();
+  } else {
+    run_windowed_threaded();
+  }
+  finish_run();
+}
+
+}  // namespace nws::sim

@@ -1,0 +1,156 @@
+// Conservative time-window partitioning of the discrete-event simulator.
+//
+// A PartitionedScheduler hosts K independent sim::Scheduler instances
+// ("partitions", one per node group) and advances them in lock-step windows
+// following the classic Chandy–Misra–Bryant conservative protocol, using a
+// global lookahead L instead of per-link null messages:
+//
+//   window n:   W_n     = min over partitions of next_event_time()
+//               horizon = W_n + L
+//               every partition executes all its events with t < horizon
+//   barrier:    cross-partition mailboxes are drained in canonical order
+//               (destination asc, source asc, send sequence asc) and their
+//               events scheduled into the destination queues; the next W is
+//               computed; repeat until every queue is empty.
+//
+// Safety: a cross-partition event sent while executing window n is stamped
+// at send_time + link_latency >= W_n + L = horizon, so it can never land
+// inside the window currently executing — each partition's intra-window run
+// is an ordinary single-threaded DES replay.  Determinism: window bounds
+// depend only on event timestamps (not on thread interleaving) and the
+// barrier drain order is canonical, so the whole execution — clocks,
+// sequence numbers, every callback order — is identical for any worker
+// count, including 1.  That is the property the determinism test suite
+// diffs nws-report-v1 output over.
+//
+// Lookahead comes from net::make_partition_map (minimum cross-group link
+// latency in the Topology).  A topology with zero cross-partition latency
+// has no safe window: run() falls back to a serial merged loop (one global
+// (t, partition, seq) order) and flags it in the stats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/mailbox.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace nws::sim {
+
+struct PartitionConfig {
+  /// Number of logical processes (node groups).  Fixed per scenario — it is
+  /// part of the simulated system, not a tuning knob.
+  std::size_t partitions = 1;
+  /// Conservative lookahead: minimum cross-partition event latency.  A
+  /// value <= 0 with more than one partition forces the serial fallback.
+  Duration lookahead = 0;
+  /// Worker threads mapping partitions to cores (partition p runs on worker
+  /// p % workers).  This is what `--jobs` controls; it must not affect
+  /// results, only wall-clock.  Clamped to [1, partitions].
+  std::size_t workers = 1;
+  /// Ring capacity of each cross-partition mailbox (overflow spills safely).
+  std::size_t mailbox_capacity = SpscMailbox::kDefaultCapacity;
+  /// Optional hook invoked around each partition's execution slice on its
+  /// worker thread: slice_scope(partition, /*enter=*/true) before events run
+  /// and (partition, false) after.  Lets the harness bind per-partition
+  /// trace recorders without the sim layer knowing about obs.
+  std::function<void(std::size_t partition, bool enter)> slice_scope;
+};
+
+/// Deterministic protocol counters (reported as sim.partition.* metrics)
+/// plus wall-clock barrier accounting (kept out of reports — it would break
+/// bit-identical output across jobs counts).
+struct PartitionRunStats {
+  std::uint64_t windows = 0;        // barrier rounds executed
+  std::uint64_t null_windows = 0;   // partition-windows that ran 0 events
+  std::uint64_t cross_events = 0;   // events exchanged through mailboxes
+  std::uint64_t mailbox_spills = 0; // cross events that overflowed a ring
+  std::uint64_t events_executed = 0;
+  std::size_t partitions = 0;
+  std::size_t workers_used = 0;
+  bool serial_fallback = false;     // zero lookahead forced the merged loop
+  double barrier_wait_seconds = 0;  // wall-clock, workers > 1 only
+
+  /// Fraction of partition-windows that advanced no events — the conservative
+  /// protocol's overhead measure (analogous to CMB null-message ratio).
+  [[nodiscard]] double null_window_ratio() const {
+    const std::uint64_t slices = windows * partitions;
+    return slices == 0 ? 0.0 : static_cast<double>(null_windows) / static_cast<double>(slices);
+  }
+};
+
+class PartitionedScheduler {
+ public:
+  explicit PartitionedScheduler(PartitionConfig config);
+  PartitionedScheduler(const PartitionedScheduler&) = delete;
+  PartitionedScheduler& operator=(const PartitionedScheduler&) = delete;
+  ~PartitionedScheduler();
+
+  [[nodiscard]] std::size_t partitions() const { return parts_.size(); }
+  [[nodiscard]] Duration lookahead() const { return config_.lookahead; }
+
+  /// The partition's own scheduler: spawn processes, schedule callbacks,
+  /// read its clock.  Only touch partition p from p's worker thread while
+  /// run() is live (i.e. from code executing inside that partition).
+  [[nodiscard]] Scheduler& partition(std::size_t p) { return parts_[p]->sched; }
+
+  /// Sends a cross-partition event: run `cb` on partition `to` at absolute
+  /// time `t`.  Must be called from code executing inside partition `from`.
+  /// During windowed execution `t` must be at or past the current window
+  /// horizon (guaranteed when t = now + latency with latency >= lookahead);
+  /// violating that throws, because delivering it would break conservatism.
+  template <typename F>
+  void post(std::size_t from, std::size_t to, TimePoint t, F&& cb) {
+    check_post(from, to, t);
+    Part& src = *parts_[from];
+    if (windowed_) {
+      InlineCallback callback;
+      callback.emplace(std::forward<F>(cb));
+      src.outbox[to]->push(t, src.send_seq++, std::move(callback));
+    } else {
+      // Serial fallback / pre-run setup: deliver directly, same counters.
+      ++src.direct_cross_events;
+      parts_[to]->sched.schedule_callback(t, std::forward<F>(cb));
+    }
+  }
+
+  /// Runs every partition to completion under the window protocol.
+  /// Rethrows the lowest-partition process failure; throws DeadlockError if
+  /// queues drain with live processes remaining anywhere.
+  void run();
+
+  [[nodiscard]] const PartitionRunStats& stats() const { return stats_; }
+
+ private:
+  struct Part {
+    Scheduler sched;
+    std::uint64_t send_seq = 0;          // producer order for this source
+    std::uint64_t executed_in_window = 0;
+    std::uint64_t null_windows = 0;
+    std::uint64_t direct_cross_events = 0;
+    std::exception_ptr error;            // first failure seen on this partition
+    std::vector<std::unique_ptr<SpscMailbox>> outbox;  // one per destination
+  };
+
+  void check_post(std::size_t from, std::size_t to, TimePoint t) const;
+  void run_serial_merged();
+  void run_windowed_single();
+  void run_windowed_threaded();
+  /// Barrier-step helpers shared by the single-thread and threaded loops.
+  void drain_all_mailboxes();
+  [[nodiscard]] TimePoint compute_next_horizon();
+  void exec_slice(std::size_t p, TimePoint horizon);
+  void finish_run();
+
+  PartitionConfig config_;
+  std::vector<std::unique_ptr<Part>> parts_;
+  PartitionRunStats stats_;
+  bool windowed_ = false;   // true while the window protocol is executing
+  TimePoint horizon_ = 0;   // current window's exclusive upper bound
+};
+
+}  // namespace nws::sim

@@ -1,0 +1,292 @@
+// Tests for the conservative time-window partitioning stack: the SPSC
+// mailbox, the partitioned scheduler's window protocol, lookahead
+// derivation from the topology, and the --jobs determinism gate over the
+// selfprof scenario registry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/selfprof_scenarios.h"
+#include "net/partition.h"
+#include "net/provider.h"
+#include "net/topology.h"
+#include "sim/mailbox.h"
+#include "sim/partition.h"
+#include "sim/sync.h"
+
+namespace nws::sim {
+namespace {
+
+InlineCallback noop_callback() {
+  InlineCallback cb;
+  cb.emplace([] {});
+  return cb;
+}
+
+TEST(SpscMailboxTest, PreservesSendOrderThroughSpill) {
+  SpscMailbox box(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    box.push(static_cast<TimePoint>(100 + i), i, noop_callback());
+  }
+  EXPECT_EQ(box.spills(), 6u);  // pushes 5..10 overflowed the 4-slot ring
+  std::vector<std::uint64_t> seqs;
+  box.drain([&](CrossEvent&& ev) { seqs.push_back(ev.send_seq); });
+  ASSERT_EQ(seqs.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seqs[i], i);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(SpscMailboxTest, ReusableAfterDrain) {
+  SpscMailbox box(2);
+  box.push(1, 0, noop_callback());
+  box.drain([](CrossEvent&&) {});
+  box.push(2, 1, noop_callback());
+  std::size_t delivered = 0;
+  box.drain([&](CrossEvent&&) { ++delivered; });
+  EXPECT_EQ(delivered, 1u);
+}
+
+Task<void> delayed_post(PartitionedScheduler& psched, std::size_t from, std::size_t to,
+                        Duration wait, Duration latency, TimePoint* delivered_at) {
+  Scheduler& sched = psched.partition(from);
+  co_await sched.delay(wait);
+  Scheduler* dst = &psched.partition(to);
+  psched.post(from, to, sched.now() + latency, [dst, delivered_at] { *delivered_at = dst->now(); });
+}
+
+TEST(PartitionedSchedulerTest, CrossEventDeliveredAtItsTimestamp) {
+  PartitionConfig cfg;
+  cfg.partitions = 2;
+  cfg.lookahead = microseconds(10);
+  PartitionedScheduler psched(cfg);
+  TimePoint delivered_at = -1;
+  psched.partition(0).spawn(
+      delayed_post(psched, 0, 1, milliseconds(1), microseconds(10), &delivered_at));
+  psched.run();
+  EXPECT_EQ(delivered_at, milliseconds(1) + microseconds(10));
+  EXPECT_EQ(psched.stats().cross_events, 1u);
+  EXPECT_GT(psched.stats().windows, 0u);
+  EXPECT_FALSE(psched.stats().serial_fallback);
+}
+
+TEST(PartitionedSchedulerTest, PostValidation) {
+  PartitionConfig cfg;
+  cfg.partitions = 2;
+  cfg.lookahead = microseconds(1);
+  PartitionedScheduler psched(cfg);
+  EXPECT_THROW(psched.post(0, 0, 10, [] {}), std::logic_error);
+  EXPECT_THROW(psched.post(0, 7, 10, [] {}), std::out_of_range);
+  PartitionConfig bad;
+  bad.partitions = 0;
+  EXPECT_THROW(PartitionedScheduler{bad}, std::invalid_argument);
+}
+
+TEST(PartitionedSchedulerTest, LookaheadViolationThrows) {
+  PartitionConfig cfg;
+  cfg.partitions = 2;
+  cfg.lookahead = microseconds(10);
+  PartitionedScheduler psched(cfg);
+  // Posting at `now` from inside a window lands below the horizon W + L —
+  // the protocol must reject it rather than silently break causality.
+  TimePoint unused = 0;
+  psched.partition(0).spawn(delayed_post(psched, 0, 1, microseconds(5), 0, &unused));
+  EXPECT_THROW(psched.run(), std::logic_error);
+}
+
+TEST(PartitionedSchedulerTest, ZeroLookaheadFallsBackToSerial) {
+  PartitionConfig cfg;
+  cfg.partitions = 2;
+  cfg.lookahead = 0;
+  cfg.workers = 4;
+  PartitionedScheduler psched(cfg);
+  // In the merged fallback, cross events at any t >= now are legal.
+  TimePoint delivered_at = -1;
+  psched.partition(0).spawn(delayed_post(psched, 0, 1, microseconds(5), 0, &delivered_at));
+  psched.run();
+  EXPECT_EQ(delivered_at, microseconds(5));
+  EXPECT_TRUE(psched.stats().serial_fallback);
+  EXPECT_EQ(psched.stats().windows, 0u);
+  EXPECT_EQ(psched.stats().workers_used, 1u);
+}
+
+Task<void> wait_forever(Scheduler& sched, Gate& gate) {
+  co_await sched.delay(microseconds(1));
+  co_await gate.wait();
+}
+
+TEST(PartitionedSchedulerTest, DeadlockInOnePartitionPropagates) {
+  PartitionConfig cfg;
+  cfg.partitions = 2;
+  cfg.lookahead = microseconds(10);
+  PartitionedScheduler psched(cfg);
+  Gate gate(psched.partition(0));
+  psched.partition(0).spawn(wait_forever(psched.partition(0), gate));
+  TimePoint unused = 0;
+  psched.partition(1).spawn(
+      delayed_post(psched, 1, 0, microseconds(5), microseconds(10), &unused));
+  EXPECT_THROW(psched.run(), DeadlockError);
+}
+
+Task<void> digest_proc(PartitionedScheduler& psched, std::size_t self, std::uint64_t* digest,
+                       std::vector<std::uint64_t>* inbox_counts) {
+  Scheduler& sched = psched.partition(self);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull * (self + 1);
+  for (int i = 0; i < 100; ++i) {
+    co_await sched.delay(microseconds(3 + (state % 7)));
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    *digest ^= state + static_cast<std::uint64_t>(sched.now());
+    if (i % 10 == 0) {
+      const std::size_t peer = (self + 1) % psched.partitions();
+      std::uint64_t* count = &(*inbox_counts)[peer];
+      psched.post(self, peer, sched.now() + microseconds(10), [count] { ++(*count); });
+    }
+  }
+}
+
+/// The core guarantee: worker count maps partitions to threads and nothing
+/// else.  Window structure, cross traffic and per-partition state must be
+/// identical at every worker count (including 1, the reference).
+TEST(PartitionedSchedulerTest, WorkerCountDoesNotChangeResults) {
+  struct Result {
+    std::vector<std::uint64_t> digests;
+    std::vector<std::uint64_t> inbox;
+    std::uint64_t windows, cross_events;
+  };
+  const auto run_at = [](std::size_t workers) {
+    PartitionConfig cfg;
+    cfg.partitions = 4;
+    cfg.lookahead = microseconds(10);
+    cfg.workers = workers;
+    PartitionedScheduler psched(cfg);
+    Result r;
+    r.digests.assign(4, 0);
+    r.inbox.assign(4, 0);
+    for (std::size_t p = 0; p < 4; ++p) {
+      psched.partition(p).spawn(digest_proc(psched, p, &r.digests[p], &r.inbox));
+    }
+    psched.run();
+    r.windows = psched.stats().windows;
+    r.cross_events = psched.stats().cross_events;
+    return r;
+  };
+  const Result serial = run_at(1);
+  EXPECT_GT(serial.cross_events, 0u);
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    const Result parallel = run_at(workers);
+    EXPECT_EQ(parallel.digests, serial.digests) << "workers=" << workers;
+    EXPECT_EQ(parallel.inbox, serial.inbox) << "workers=" << workers;
+    EXPECT_EQ(parallel.windows, serial.windows) << "workers=" << workers;
+    EXPECT_EQ(parallel.cross_events, serial.cross_events) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace nws::sim
+
+namespace nws::net {
+namespace {
+
+TEST(PartitionMapTest, LookaheadIsMinimumCrossGroupLatency) {
+  sim::Scheduler sched;
+  FlowScheduler flows(sched);
+  TopologyConfig cfg;
+  cfg.nodes = 8;
+  cfg.provider = tcp_provider();
+  const Topology topo(flows, cfg);
+  const PartitionMap map = make_partition_map(topo, 4);
+  ASSERT_EQ(map.groups, 4u);
+  ASSERT_EQ(map.group_of_node.size(), 8u);
+  sim::Duration expect = std::numeric_limits<sim::Duration>::max();
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      if (map.group_of(a) == map.group_of(b)) continue;
+      for (std::size_t sa = 0; sa < cfg.sockets_per_node; ++sa) {
+        for (std::size_t sb = 0; sb < cfg.sockets_per_node; ++sb) {
+          expect = std::min(expect, topo.latency(Endpoint{a, sa}, Endpoint{b, sb}));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(map.lookahead, expect);
+  EXPECT_GT(map.lookahead, 0);
+}
+
+TEST(PartitionMapTest, GroupCountClamps) {
+  sim::Scheduler sched;
+  FlowScheduler flows(sched);
+  TopologyConfig cfg;
+  cfg.nodes = 3;
+  cfg.provider = psm2_provider();
+  const Topology topo(flows, cfg);
+  EXPECT_EQ(make_partition_map(topo, 0).groups, 1u);
+  EXPECT_EQ(make_partition_map(topo, 99).groups, 3u);
+  EXPECT_EQ(make_partition_map(topo, 1).lookahead, 0);  // no cross-group links
+}
+
+}  // namespace
+}  // namespace nws::net
+
+namespace nws::bench {
+namespace {
+
+/// The PR 8 acceptance gate: every selfprof scenario's canonical
+/// nws-report-v1 serialization is byte-identical at --jobs 1/2/4/8.
+/// Serial scenarios have no jobs knob, so for them the gate degenerates to
+/// repeat-invocation stability (two runs, same bytes), which still catches
+/// address- or allocation-order-dependent nondeterminism.
+TEST(PartitionDeterminismTest, ReportsBitIdenticalAcrossJobs) {
+  for (const SelfprofScenario& scenario : selfprof_scenarios()) {
+    const std::uint64_t seed = 1;
+    const std::string reference = scenario_report_json(scenario, seed, scenario.run(seed, 1));
+    EXPECT_NE(reference.find("nws-report-v1"), std::string::npos);
+    const std::vector<std::size_t> jobs_grid =
+        scenario.partitioned ? std::vector<std::size_t>{2, 4, 8} : std::vector<std::size_t>{1};
+    for (const std::size_t jobs : jobs_grid) {
+      const std::string got = scenario_report_json(scenario, seed, scenario.run(seed, jobs));
+      EXPECT_EQ(got, reference) << scenario.name << " diverged at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(PartitionedBenchTest, StatsAndProtocolCountersSane) {
+  PartitionedRunParams params;
+  params.field.ops_per_process = 5;
+  params.field.processes_per_node = 4;
+  params.shards = 4;
+  params.jobs = 2;
+  const PartitionedOutcome out = run_field_partitioned(testbed_config(1, 2), params, 1);
+  ASSERT_FALSE(out.outcome.failed) << out.outcome.failure;
+  EXPECT_EQ(out.stats.partitions, 4u);
+  EXPECT_FALSE(out.stats.serial_fallback);
+  EXPECT_GT(out.stats.windows, 0u);
+  EXPECT_GT(out.stats.cross_events, 0u);  // gossip tokens crossed shards
+  EXPECT_GT(out.stats.events_executed, 0u);
+  EXPECT_GT(out.lookahead, 0);
+  EXPECT_GT(out.sim_seconds, 0.0);
+  EXPECT_GT(out.outcome.write_bw, 0.0);
+  EXPECT_TRUE(out.outcome.metrics.has("sim.partition.windows"));
+  EXPECT_TRUE(out.outcome.metrics.has("sim.partition.gossip_tokens"));
+  EXPECT_GT(out.outcome.metrics.value("sim.partition.gossip_tokens"), 0.0);
+}
+
+/// A provider with no message latency yields zero lookahead; the campaign
+/// must complete (serially merged) rather than deadlock or livelock.
+TEST(PartitionedBenchTest, ZeroLatencyProviderFallsBackToSerial) {
+  daos::ClusterConfig cfg = testbed_config(1, 2);
+  cfg.provider.message_latency = 0;
+  PartitionedRunParams params;
+  params.field.ops_per_process = 3;
+  params.field.processes_per_node = 2;
+  params.shards = 2;
+  params.jobs = 4;
+  const PartitionedOutcome out = run_field_partitioned(cfg, params, 1);
+  ASSERT_FALSE(out.outcome.failed) << out.outcome.failure;
+  EXPECT_TRUE(out.stats.serial_fallback);
+  EXPECT_EQ(out.stats.workers_used, 1u);
+  EXPECT_EQ(out.lookahead, 0);
+  EXPECT_TRUE(out.outcome.metrics.has("sim.partition.serial_fallback"));
+}
+
+}  // namespace
+}  // namespace nws::bench
