@@ -116,7 +116,7 @@ void BM_PlacementLookup(benchmark::State& state) {
   for (auto _ : state) {
     const auto oid =
         daos::ObjectId::generate(1, i++, daos::ObjectType::array, daos::ObjectClass::S1);
-    benchmark::DoNotOptimize(cluster.placement(oid));
+    benchmark::DoNotOptimize(cluster.stripe_targets(oid));
   }
 }
 BENCHMARK(BM_PlacementLookup);

@@ -78,6 +78,13 @@ check_artifacts() {
     --trace="$scratch/snap.trace.json" --report="$scratch/snap.report.json" >/dev/null
   "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
     --trace="$scratch/snap.trace.json" --report="$scratch/snap.report.json"
+  # The rebuild bench exercises the rebuild.* span/metric namespace (pool-map
+  # exclusion, degraded service, resilvering flows).
+  echo "==> artifact check ($build_dir, fig_rebuild_interference --trace/--report)"
+  "$build_dir"/bench/fig_rebuild_interference --quick --reps=1 \
+    --trace="$scratch/rebuild.trace.json" --report="$scratch/rebuild.report.json" >/dev/null
+  "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
+    --trace="$scratch/rebuild.trace.json" --report="$scratch/rebuild.report.json"
   rm -rf "$scratch"
 }
 
@@ -109,7 +116,7 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "==> TSan build (build-tsan/, -fsanitize=thread): run pool + chaos sweep"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DNWS_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test partition_test fig6_objclass_size micro_components fig_snapshot_rw obs_lint
+  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test partition_test fig6_objclass_size micro_components fig_snapshot_rw fig_rebuild_interference obs_lint
   # The pool tests pin their own thread counts; the chaos sweep runs a
   # reduced scenario count (TSan is ~10x slower) across all hardware threads
   # to actually exercise cross-thread stealing.  StatsRaceTest hammers the

@@ -13,6 +13,7 @@ const char* errc_name(Errc e) {
     case Errc::timeout: return "timeout";
     case Errc::invalid: return "invalid";
     case Errc::unsupported: return "unsupported";
+    case Errc::data_loss: return "data_loss";
   }
   return "unknown";
 }

@@ -23,6 +23,7 @@ enum class Errc {
   timeout,         // request timed out (e.g. RPC dropped by fault injection)
   invalid,         // invalid argument combination
   unsupported,     // configuration rejected (e.g. PSM2 dual-rail)
+  data_loss,       // DER_DATA_LOSS: redundancy exhausted, data unrecoverable
 };
 
 /// Short stable identifier for an error code, e.g. "not_found".

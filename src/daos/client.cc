@@ -23,6 +23,7 @@ sim::Task<Status> Client::fault_check(std::size_t target_index) {
   fault::FaultPlan* plan = cluster_.fault_plan();
   if (plan == nullptr) co_return Status::ok();
   if (plan->target_down(target_index, cluster_.scheduler().now())) {
+    plan->note_rejection();
     co_return Status::error(Errc::unavailable, "target in injected outage window");
   }
   if (plan->drop_rpc()) {
@@ -123,7 +124,9 @@ sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::
   if (!handle.valid()) throw std::logic_error("kv_put on closed handle");
   if (handle.pinned()) co_return Status::error(Errc::invalid, "kv_put through a snapshot handle");
   const ModelConfig& m = cluster_.model();
-  const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
+  const auto route = kv_route(handle.oid, key, /*is_write=*/true);
+  if (!route.status.is_ok()) co_return route.status;
+  const std::size_t shard = route.primary;
   co_await rpc(shard, m.kv_op_overhead);
   if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) co_return Status::error(Errc::io_error, "injected KV put failure");
@@ -142,6 +145,19 @@ sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::
   if (handle.kv->active_readers() > 0 || recently_read) retry += m.kv_cross_contention_bytes;
   co_await cluster_.flows().transfer(cluster_.service_path(shard, /*is_write=*/true),
                                      m.kv_put_service_bytes + retry);
+  // Replicated classes forward the update to every other live replica; the
+  // put is not durable until all of them have serviced it.
+  if (!route.replicas.empty()) {
+    std::vector<sim::Task<void>> fan;
+    fan.reserve(route.replicas.size());
+    for (const std::size_t target : route.replicas) {
+      auto one = [](Cluster& cluster, std::vector<net::LinkId> p, Bytes b) -> sim::Task<void> {
+        co_await cluster.flows().transfer(std::move(p), b);
+      }(cluster_, cluster_.service_path(target, /*is_write=*/true), m.kv_put_service_bytes);
+      fan.push_back(std::move(one));
+    }
+    co_await sim::when_all(cluster_.scheduler(), std::move(fan));
+  }
 
   // Serialised transaction-ordering section on the object.
   co_await handle.kv->object_lock().lock();
@@ -160,7 +176,10 @@ sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::strin
   obs::Span span("kv_get", "daos", actor_, trace_iteration_);
   if (!handle.valid()) throw std::logic_error("kv_get on closed handle");
   const ModelConfig& m = cluster_.model();
-  const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
+  const auto route = kv_route(handle.oid, key, /*is_write=*/false);
+  if (!route.status.is_ok()) co_return route.status;
+  if (route.degraded) cluster_.pool_map().note_degraded_read();
+  const std::size_t shard = route.primary;
   co_await rpc(shard, m.kv_op_overhead);
   if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) {
@@ -195,7 +214,9 @@ sim::Task<Status> Client::kv_remove(KvHandle& handle, const std::string& key) {
   if (!handle.valid()) throw std::logic_error("kv_remove on closed handle");
   if (handle.pinned()) co_return Status::error(Errc::invalid, "kv_remove through a snapshot handle");
   const ModelConfig& m = cluster_.model();
-  const std::size_t shard = cluster_.shard_for_key(handle.oid, key);
+  const auto route = kv_route(handle.oid, key, /*is_write=*/true);
+  if (!route.status.is_ok()) co_return route.status;
+  const std::size_t shard = route.primary;
   co_await rpc(shard, m.kv_op_overhead);
   if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
   co_await handle.kv->object_lock().lock();
@@ -211,7 +232,7 @@ sim::Task<std::vector<std::string>> Client::kv_list(KvHandle& handle) {
   // Enumeration walks every shard; cost scales with entry count.
   const auto keys = handle.kv->list(handle.epoch);
   const auto per_key = sim::microseconds(2.0);
-  co_await rpc(cluster_.shard_for_key(handle.oid, ""), m.kv_op_overhead);
+  co_await rpc(kv_route(handle.oid, "", /*is_write=*/false).primary, m.kv_op_overhead);
   co_await cluster_.scheduler().delay(static_cast<sim::Duration>(keys.size()) * per_key);
   co_return keys;
 }
@@ -228,7 +249,9 @@ sim::Task<Result<ArrayHandle>> Client::array_create(ContHandle cont, const Objec
   if (!cont.valid()) throw std::logic_error("array_create on closed container handle");
   if (cont.pinned()) co_return Status::error(Errc::invalid, "array_create on a snapshot handle");
   const ModelConfig& m = cluster_.model();
-  const std::size_t lead = cluster_.placement(oid)[0];
+  const auto routed = lead_target(oid);
+  if (!routed.is_ok()) co_return routed.status();
+  const std::size_t lead = routed.value();
   co_await rpc(lead, m.array_create_overhead);
   if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   co_await container_indirection(cont.container, lead, /*is_write=*/true);
@@ -241,7 +264,9 @@ sim::Task<Result<ArrayHandle>> Client::array_open(ContHandle cont, const ObjectI
   obs::Span span("array_open", "daos", actor_, trace_iteration_);
   if (!cont.valid()) throw std::logic_error("array_open on closed container handle");
   const ModelConfig& m = cluster_.model();
-  const std::size_t lead = cluster_.placement(oid)[0];
+  const auto routed = lead_target(oid);
+  if (!routed.is_ok()) co_return routed.status();
+  const std::size_t lead = routed.value();
   co_await rpc(lead, m.array_open_overhead);
   if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   auto opened = cont.container->open_array(oid);
@@ -253,42 +278,189 @@ sim::Task<Result<ArrayHandle>> Client::array_open(ContHandle cont, const ObjectI
   co_return ArrayHandle{cont.container, oid, opened.value(), lead, cont.epoch};
 }
 
-std::vector<std::pair<std::size_t, Bytes>> Client::shard_extents(const ObjectId& oid, Bytes offset,
-                                                                 Bytes len) const {
-  const ModelConfig& m = cluster_.model();
-  const auto stripe = cluster_.placement(oid);
-  const Bytes chunk = m.array_chunk_size;
-
-  // Per-stripe-member byte counts: chunks round-robin across the stripe.
-  std::vector<Bytes> per_member(stripe.size(), 0);
+namespace {
+/// Chunk round-robin byte split of [offset, offset+len) over `width` members.
+std::vector<Bytes> member_split(Bytes offset, Bytes len, Bytes chunk, std::size_t width) {
+  std::vector<Bytes> per_member(width, 0);
   Bytes pos = offset;
   Bytes remaining = len;
   while (remaining > 0) {
     const Bytes chunk_index = pos / chunk;
     const Bytes within = pos % chunk;
     const Bytes take = std::min(remaining, chunk - within);
-    per_member[static_cast<std::size_t>(chunk_index % stripe.size())] += take;
+    per_member[static_cast<std::size_t>(chunk_index % width)] += take;
     pos += take;
     remaining -= take;
   }
+  return per_member;
+}
+}  // namespace
 
-  std::vector<std::pair<std::size_t, Bytes>> extents;
-  for (std::size_t i = 0; i < stripe.size(); ++i) {
-    if (per_member[i] > 0) extents.emplace_back(stripe[i], per_member[i]);
+Client::IoPlan Client::plan_array_io(const ObjectId& oid, Bytes offset, Bytes len, bool is_write,
+                                     std::size_t default_lead) const {
+  const ModelConfig& m = cluster_.model();
+  const ObjectClass oc = oid.oclass();
+  IoPlan plan;
+  plan.lead = default_lead;
+
+  if (!is_redundant(oc) && cluster_.pool_map().version() == 1) {
+    // Fast path (striping classes, no exclusions): the pre-redundancy fan-out.
+    const auto stripe = cluster_.stripe_targets(oid);
+    const auto per_member = member_split(offset, len, m.array_chunk_size, stripe.size());
+    for (std::size_t i = 0; i < stripe.size(); ++i) {
+      if (per_member[i] > 0) plan.extents.emplace_back(stripe[i], per_member[i]);
+    }
+  } else if (const std::size_t r = replica_count(oc); r > 1) {
+    // Replication: every member holds the full byte range.
+    const auto routes = cluster_.resolve_stripe(oid);
+    if (is_write) {
+      for (const auto& route : routes) {
+        if (!route.lost) plan.extents.emplace_back(route.target, len);
+      }
+      if (plan.extents.empty()) {
+        plan.status = Status::error(Errc::data_loss, "all replicas lost: " + oid.to_string());
+        return plan;
+      }
+    } else {
+      std::size_t pick = routes.size();
+      for (std::size_t i = 0; i < routes.size(); ++i) {
+        if (routes[i].available) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == routes.size()) {
+        plan.status = Status::error(Errc::data_loss, "no readable replica: " + oid.to_string());
+        return plan;
+      }
+      plan.extents.emplace_back(routes[pick].target, len);
+      plan.degraded = pick != 0;
+    }
+    plan.lead = plan.extents.front().first;
+  } else if (const std::size_t k = ec_data_shards(oc); k > 0) {
+    // Erasure code k+p: chunks round-robin over the k data members; every
+    // parity member absorbs ~len/k of parity updates on writes and can stand
+    // in for one unavailable data member on reads (decode).
+    const std::size_t p = ec_parity_shards(oc);
+    const auto routes = cluster_.resolve_stripe(oid);
+    for (const auto& route : routes) {
+      if (route.lost) {
+        plan.status = Status::error(Errc::data_loss, "EC stripe beyond parity: " + oid.to_string());
+        return plan;
+      }
+    }
+    const auto per_member = member_split(offset, len, m.array_chunk_size, k);
+    if (is_write) {
+      const Bytes parity_bytes = (len + k - 1) / k;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (per_member[i] > 0) plan.extents.emplace_back(routes[i].target, per_member[i]);
+      }
+      for (std::size_t j = k; j < k + p; ++j) plan.extents.emplace_back(routes[j].target, parity_bytes);
+    } else {
+      std::vector<std::size_t> spare;  // parity members able to stand in
+      for (std::size_t j = k; j < k + p; ++j) {
+        if (routes[j].available) spare.push_back(routes[j].target);
+      }
+      std::size_t next_spare = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (per_member[i] == 0) continue;
+        if (routes[i].available) {
+          plan.extents.emplace_back(routes[i].target, per_member[i]);
+          continue;
+        }
+        if (next_spare == spare.size()) {
+          plan.status = Status::error(Errc::data_loss, "EC decode short of shards: " + oid.to_string());
+          return plan;
+        }
+        plan.extents.emplace_back(spare[next_spare++], per_member[i]);
+        plan.decode_bytes += per_member[i];
+        plan.degraded = true;
+      }
+    }
+    if (!plan.extents.empty()) plan.lead = plan.extents.front().first;
+  } else {
+    // Striping classes after an exclusion: each member routes individually;
+    // a shard whose single copy was on the excluded target is gone.
+    const auto routes = cluster_.resolve_stripe(oid);
+    const auto per_member = member_split(offset, len, m.array_chunk_size, routes.size());
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      if (per_member[i] == 0) continue;
+      const auto& route = routes[i];
+      if (route.lost || !route.available) {
+        plan.status =
+            Status::error(Errc::data_loss, "shard unrecoverable (no redundancy): " + oid.to_string());
+        return plan;
+      }
+      plan.extents.emplace_back(route.target, per_member[i]);
+    }
+    if (!plan.extents.empty()) plan.lead = plan.extents.front().first;
   }
 
   // Coalesce to at most max_shard_flows flow groups (keeps OC_SX tractable):
   // merge round-robin so every group keeps a distinct representative target.
-  if (extents.size() > m.max_shard_flows && m.max_shard_flows > 0) {
+  if (plan.extents.size() > m.max_shard_flows && m.max_shard_flows > 0) {
     std::vector<std::pair<std::size_t, Bytes>> grouped(m.max_shard_flows, {0, 0});
-    for (std::size_t i = 0; i < extents.size(); ++i) {
+    for (std::size_t i = 0; i < plan.extents.size(); ++i) {
       auto& g = grouped[i % m.max_shard_flows];
-      if (g.second == 0) g.first = extents[i].first;
-      g.second += extents[i].second;
+      if (g.second == 0) g.first = plan.extents[i].first;
+      g.second += plan.extents[i].second;
     }
-    extents = std::move(grouped);
+    plan.extents = std::move(grouped);
   }
-  return extents;
+  return plan;
+}
+
+Result<std::size_t> Client::lead_target(const ObjectId& oid) const {
+  const auto routes = cluster_.resolve_stripe(oid);
+  for (const auto& route : routes) {
+    if (route.available) return route.target;
+  }
+  return Status::error(Errc::data_loss, "no available stripe member: " + oid.to_string());
+}
+
+Client::KvRoute Client::kv_route(const ObjectId& oid, const std::string& key, bool is_write) const {
+  KvRoute route;
+  const ObjectClass oc = oid.oclass();
+  if (!is_redundant(oc) && cluster_.pool_map().version() == 1) {
+    route.primary = cluster_.shard_for_key(oid, key);  // healthy-pool fast path
+    return route;
+  }
+  const auto routes = cluster_.resolve_stripe(oid);
+  const std::size_t member = cluster_.stripe_member_for_key(oid, key);
+  if (replica_count(oc) > 1) {
+    // Replicated KV: every member holds the whole keyspace.  Reads prefer
+    // the member the key hashes to; writes fan out to every live replica.
+    std::size_t pick = routes.size();
+    if (routes[member].available) {
+      pick = member;
+    } else {
+      for (std::size_t i = 0; i < routes.size(); ++i) {
+        if (routes[i].available) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick == routes.size()) {
+      route.status = Status::error(Errc::data_loss, "no readable replica: " + oid.to_string());
+      return route;
+    }
+    route.primary = routes[pick].target;
+    route.degraded = !is_write && pick != member;
+    if (is_write) {
+      for (std::size_t i = 0; i < routes.size(); ++i) {
+        if (i != pick && !routes[i].lost) route.replicas.push_back(routes[i].target);
+      }
+    }
+  } else {
+    const auto& r0 = routes[member];
+    if (r0.lost || !r0.available) {
+      route.status = Status::error(Errc::data_loss, "KV shard unrecoverable: " + oid.to_string());
+      return route;
+    }
+    route.primary = r0.target;
+  }
+  return route;
 }
 
 sim::Task<void> Client::run_data_flows(const std::vector<std::pair<std::size_t, Bytes>>& extents,
@@ -340,20 +512,22 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
   if (handle.pinned()) co_return Status::error(Errc::invalid, "array_write through a snapshot handle");
   if (len == 0) co_return Status::ok();
   const ModelConfig& m = cluster_.model();
-  const auto extents = shard_extents(handle.oid, offset, len);
+  const auto plan = plan_array_io(handle.oid, offset, len, /*is_write=*/true, handle.lead_target);
+  if (!plan.status.is_ok()) co_return plan.status;
+  const auto& extents = plan.extents;
 
   const auto fanout =
       static_cast<sim::Duration>(extents.size() > 1 ? (extents.size() - 1) * m.stripe_fanout_overhead : 0);
-  co_await rpc(handle.lead_target, m.array_io_overhead + fanout);
-  if (Status fault = co_await fault_check(handle.lead_target); !fault.is_ok()) co_return fault;
+  co_await rpc(plan.lead, m.array_io_overhead + fanout);
+  if (Status fault = co_await fault_check(plan.lead); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) co_return Status::error(Errc::io_error, "injected array write failure");
-  co_await container_indirection(handle.container, handle.lead_target, /*is_write=*/true);
+  co_await container_indirection(handle.container, plan.lead, /*is_write=*/true);
 
   // Pool space for newly written extent growth (never reclaimed: the field
   // functions de-reference but do not delete, Section 4).
   const Bytes new_end = offset + len;
   if (new_end > handle.array->size()) {
-    auto charged = cluster_.charge_capacity(handle.lead_target, new_end - handle.array->size());
+    auto charged = cluster_.charge_capacity(plan.lead, new_end - handle.array->size());
     if (!charged.is_ok()) co_return charged.status();
     handle.array->note_allocation(charged.value().first, charged.value().second);
   }
@@ -371,7 +545,7 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
     const Bytes cow = handle.array->pending_cow_bytes(write_epoch, retain);
     if (cow > 0) {
       co_await cluster_.flows().transfer(
-          cluster_.service_path(handle.lead_target, /*is_write=*/true), cow);
+          cluster_.service_path(plan.lead, /*is_write=*/true), cow);
     }
     co_await run_data_flows(extents, /*is_write=*/true);
     handle.array->write(offset, data, len, write_epoch, retain);
@@ -380,7 +554,7 @@ sim::Task<Status> Client::array_write(ArrayHandle& handle, Bytes offset, const s
     const Bytes cow = handle.array->pending_cow_bytes(write_epoch, retain);
     if (cow > 0) {
       co_await cluster_.flows().transfer(
-          cluster_.service_path(handle.lead_target, /*is_write=*/true), cow);
+          cluster_.service_path(plan.lead, /*is_write=*/true), cow);
     }
     co_await run_data_flows(extents, /*is_write=*/true);
     handle.array->write(offset, data, len, write_epoch, retain);
@@ -404,16 +578,26 @@ sim::Task<Result<Bytes>> Client::array_read(ArrayHandle& handle, Bytes offset, s
   const Bytes available = at_epoch > offset ? at_epoch - offset : 0;
   const Bytes to_read = std::min(len, available);
   if (to_read == 0) co_return Bytes{0};
-  const auto extents = shard_extents(handle.oid, offset, to_read);
+  const auto plan = plan_array_io(handle.oid, offset, to_read, /*is_write=*/false, handle.lead_target);
+  if (!plan.status.is_ok()) co_return plan.status;
+  if (plan.degraded) cluster_.pool_map().note_degraded_read();
+  const auto& extents = plan.extents;
 
   const auto fanout =
       static_cast<sim::Duration>(extents.size() > 1 ? (extents.size() - 1) * m.stripe_fanout_overhead : 0);
-  co_await rpc(handle.lead_target, m.array_io_overhead + fanout);
-  if (Status fault = co_await fault_check(handle.lead_target); !fault.is_ok()) co_return fault;
+  co_await rpc(plan.lead, m.array_io_overhead + fanout);
+  if (Status fault = co_await fault_check(plan.lead); !fault.is_ok()) co_return fault;
   if (cluster_.inject_io_failure()) {
     co_return Status::error(Errc::io_error, "injected array read failure");
   }
-  co_await container_indirection(handle.container, handle.lead_target, /*is_write=*/false);
+  co_await container_indirection(handle.container, plan.lead, /*is_write=*/false);
+  // EC reconstruction: the engine reads k surviving shards and re-derives
+  // the missing member's bytes before shipping them (docs/FAULTS.md).
+  if (plan.decode_bytes > 0) {
+    co_await cluster_.flows().transfer(
+        cluster_.service_path(plan.lead, /*is_write=*/false),
+        static_cast<Bytes>(static_cast<double>(plan.decode_bytes) * m.ec_decode_service_factor));
+  }
 
   Bytes n = 0;
   handle.container->array_io_enter(/*is_write=*/false);
@@ -438,7 +622,9 @@ sim::Task<Status> Client::array_destroy(ContHandle cont, const ObjectId& oid) {
   if (!cont.valid()) throw std::logic_error("array_destroy on closed container handle");
   if (cont.pinned()) co_return Status::error(Errc::invalid, "array_destroy on a snapshot handle");
   const ModelConfig& m = cluster_.model();
-  const std::size_t lead = cluster_.placement(oid)[0];
+  const auto routed = lead_target(oid);
+  if (!routed.is_ok()) co_return routed.status();
+  const std::size_t lead = routed.value();
   co_await rpc(lead, m.array_create_overhead);  // punch is create-priced
   if (Status fault = co_await fault_check(lead); !fault.is_ok()) co_return fault;
   auto destroyed = cont.container->destroy_array(oid);

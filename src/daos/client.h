@@ -181,11 +181,38 @@ class Client {
   sim::Task<Status> fault_check(std::size_t target_index);
   [[nodiscard]] double jitter() { return rng_.lognormal_jitter(cluster_.model().op_jitter_sigma); }
 
+  /// One array op's resolved fan-out after pool-map routing.
+  struct IoPlan {
+    std::size_t lead = 0;  // target serving the op RPC / metadata
+    /// Per-target data-flow byte counts (replicas and parity included).
+    std::vector<std::pair<std::size_t, Bytes>> extents;
+    Bytes decode_bytes = 0;  // bytes reconstructed from EC parity
+    bool degraded = false;   // read served off survivors/parity
+    Status status;           // data_loss when the op cannot be served
+  };
+
   /// Splits a [offset, offset+len) array extent into per-target byte counts
-  /// (chunks round-robin across the stripe), coalescing to at most
-  /// max_shard_flows groups.
-  [[nodiscard]] std::vector<std::pair<std::size_t, Bytes>> shard_extents(const ObjectId& oid, Bytes offset,
-                                                                         Bytes len) const;
+  /// by object class: chunk round-robin for the striping classes, full-range
+  /// fan-out to every replica for RP_r writes (single surviving replica for
+  /// reads), k-way data split plus ceil(len/k) parity updates for EC_k+p —
+  /// with unavailable data members reconstructed from parity on reads.
+  /// Coalesces to at most max_shard_flows groups.  `default_lead` is kept as
+  /// the plan's lead on the healthy-pool fast path.
+  [[nodiscard]] IoPlan plan_array_io(const ObjectId& oid, Bytes offset, Bytes len, bool is_write,
+                                     std::size_t default_lead) const;
+
+  /// First stripe member whose data is currently readable (array
+  /// create/open/destroy lead); data_loss when the whole stripe is gone.
+  [[nodiscard]] Result<std::size_t> lead_target(const ObjectId& oid) const;
+
+  /// One KV op's resolved routing after pool-map exclusions.
+  struct KvRoute {
+    std::size_t primary = 0;            // target serving the op
+    std::vector<std::size_t> replicas;  // extra put fan-out (RP classes)
+    bool degraded = false;              // read rerouted off the hashed member
+    Status status;                      // data_loss when no member can serve
+  };
+  [[nodiscard]] KvRoute kv_route(const ObjectId& oid, const std::string& key, bool is_write) const;
 
   /// Runs the per-shard data flows of one array op concurrently.
   sim::Task<void> run_data_flows(const std::vector<std::pair<std::size_t, Bytes>>& extents, bool is_write);

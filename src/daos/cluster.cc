@@ -1,5 +1,6 @@
 #include "daos/cluster.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,6 +34,10 @@ Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
   config_.validate().expect_ok("ClusterConfig::validate");
   build_topology();
   build_storage();
+  pool_map_ = std::make_unique<PoolMap>(sched_, flows_, targets_.size());
+  pool_map_->set_rebuild_model(config_.model.rebuild_concurrency, config_.model.rebuild_rate_cap);
+  pool_map_->set_rebuild_path_builder(
+      [this](std::size_t src, std::size_t dst) { return rebuild_path(src, dst); });
   arm_fault_plan();
 
   pool_uuid_ = Uuid::from_string_md5("nws:pool");
@@ -173,10 +178,40 @@ void Cluster::arm_fault_plan() {
     }
     fabric.push_back(topology_->upi(n));
   }
+  fault_plan_->set_permanent_failure_handler(
+      [this](std::size_t target, sim::TimePoint) { apply_permanent_failure(target); });
   fault_plan_->arm(sched_, flows_, target_links, fabric);
 }
 
-std::vector<std::size_t> Cluster::placement(const ObjectId& oid) const {
+std::vector<std::size_t> Cluster::redundant_stripe(std::size_t base, std::size_t width) const {
+  const std::size_t n = targets_.size();
+  width = std::min(width, n);
+  std::vector<std::size_t> stripe;
+  stripe.reserve(width);
+  std::vector<bool> used_target(n, false);
+  std::vector<bool> used_engine(engine_count(), false);
+  stripe.push_back(base);
+  used_target[base] = true;
+  used_engine[targets_[base].engine] = true;
+  while (stripe.size() < width) {
+    std::size_t pick = n;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::size_t t = (base + i) % n;
+      if (used_target[t]) continue;
+      if (!used_engine[targets_[t].engine]) {
+        pick = t;
+        break;
+      }
+      if (pick == n) pick = t;  // fallback once every engine is represented
+    }
+    stripe.push_back(pick);
+    used_target[pick] = true;
+    used_engine[targets_[pick].engine] = true;
+  }
+  return stripe;
+}
+
+std::vector<std::size_t> Cluster::stripe_targets(const ObjectId& oid) const {
   const std::size_t n = targets_.size();
   const std::size_t base = static_cast<std::size_t>(mix64(oid.hi ^ (oid.lo * 0x9e3779b97f4a7c15ull))) % n;
   switch (oid.oclass()) {
@@ -187,24 +222,189 @@ std::vector<std::size_t> Cluster::placement(const ObjectId& oid) const {
       for (std::size_t i = 0; i < n; ++i) all[i] = (base + i) % n;
       return all;
     }
+    case ObjectClass::RP_2:
+    case ObjectClass::RP_3:
+      return redundant_stripe(base, replica_count(oid.oclass()));
+    case ObjectClass::EC_2P1:
+    case ObjectClass::EC_4P2:
+      return redundant_stripe(base, ec_data_shards(oid.oclass()) + ec_parity_shards(oid.oclass()));
   }
-  throw std::logic_error("unknown object class in placement");
+  throw std::logic_error("unknown object class in stripe_targets");
 }
 
-std::size_t Cluster::shard_for_key(const ObjectId& oid, const std::string& key) const {
+std::size_t Cluster::stripe_member_for_key(const ObjectId& oid, const std::string& key) const {
   std::uint64_t h = oid.hi ^ oid.lo;
   for (const char c : key) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
-  // Stripe member without materialising the placement vector (hot path).
   const std::size_t n = targets_.size();
-  const std::size_t base = static_cast<std::size_t>(mix64(oid.hi ^ (oid.lo * 0x9e3779b97f4a7c15ull))) % n;
   std::size_t stripe_size = 1;
   switch (oid.oclass()) {
     case ObjectClass::S1: stripe_size = 1; break;
     case ObjectClass::S2: stripe_size = 2; break;
     case ObjectClass::SX: stripe_size = n; break;
+    case ObjectClass::RP_2:
+    case ObjectClass::RP_3:
+      stripe_size = std::min(replica_count(oid.oclass()), n);
+      break;
+    case ObjectClass::EC_2P1:
+    case ObjectClass::EC_4P2:
+      stripe_size = std::min(ec_data_shards(oid.oclass()) + ec_parity_shards(oid.oclass()), n);
+      break;
   }
-  const std::size_t member = static_cast<std::size_t>(mix64(h)) % stripe_size;
-  return (base + member) % n;
+  return static_cast<std::size_t>(mix64(h)) % stripe_size;
+}
+
+std::size_t Cluster::shard_for_key(const ObjectId& oid, const std::string& key) const {
+  const std::size_t member = stripe_member_for_key(oid, key);
+  const std::size_t n = targets_.size();
+  const std::size_t base = static_cast<std::size_t>(mix64(oid.hi ^ (oid.lo * 0x9e3779b97f4a7c15ull))) % n;
+  switch (oid.oclass()) {
+    // Contiguous-ring classes resolve without materialising the stripe (hot
+    // path: every KV op routes through here).
+    case ObjectClass::S1:
+    case ObjectClass::S2:
+    case ObjectClass::SX: return (base + member) % n;
+    default: return stripe_targets(oid)[member];
+  }
+}
+
+std::vector<Cluster::ShardRoute> Cluster::resolve_stripe(const ObjectId& oid) const {
+  const auto ideal = stripe_targets(oid);
+  const std::size_t n = targets_.size();
+  std::vector<ShardRoute> routes(ideal.size());
+  std::vector<bool> taken(n, false);
+  std::vector<bool> used_engine(engine_count(), false);
+  for (const std::size_t t : ideal) {
+    if (pool_map_->alive(t)) {
+      taken[t] = true;
+      used_engine[targets_[t].engine] = true;
+    }
+  }
+  for (std::size_t m = 0; m < ideal.size(); ++m) {
+    ShardRoute& r = routes[m];
+    r.ideal = ideal[m];
+    r.target = ideal[m];
+    if (pool_map_->alive(ideal[m])) continue;
+    const ShardState state = pool_map_->shard_state(oid, ideal[m]);
+    if (state == ShardState::lost) {
+      r.available = false;
+      r.lost = true;
+      continue;
+    }
+    // Replacement home: ring walk from the failed target over alive targets
+    // not already in the stripe, preferring engines the stripe does not use.
+    std::size_t pick = n;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::size_t t = (ideal[m] + i) % n;
+      if (!pool_map_->alive(t) || taken[t]) continue;
+      if (!used_engine[targets_[t].engine]) {
+        pick = t;
+        break;
+      }
+      if (pick == n) pick = t;
+    }
+    if (pick == n) {
+      // Pool exhausted: the shard has nowhere to live.
+      r.available = false;
+      continue;
+    }
+    taken[pick] = true;
+    used_engine[targets_[pick].engine] = true;
+    r.target = pick;
+    // Mid-rebuild the data still lives only on the survivors.
+    r.available = state == ShardState::healthy;
+  }
+  return routes;
+}
+
+void Cluster::apply_permanent_failure(std::size_t target) {
+  if (!pool_map_->alive(target)) return;
+  pool_map_->exclude(target);
+
+  // Deterministic enumeration order: containers_ is an unordered map, so
+  // sort by uuid before walking (rebuild queue order feeds flow
+  // interleaving, which must be bit-identical across runs).
+  std::vector<Container*> conts;
+  conts.reserve(containers_.size());
+  for (const auto& [uuid, cont] : containers_) conts.push_back(cont.get());
+  std::sort(conts.begin(), conts.end(),
+            [](const Container* a, const Container* b) { return a->id() < b->id(); });
+
+  std::vector<RebuildItem> items;
+  const auto enumerate = [&](const ObjectId& oid, Bytes object_bytes) {
+    const auto ideal = stripe_targets(oid);
+    for (std::size_t m = 0; m < ideal.size(); ++m) {
+      if (ideal[m] != target) continue;
+      if (object_bytes == 0) continue;  // never written: routing covers it
+      const ObjectClass oc = oid.oclass();
+      if (!is_redundant(oc)) {
+        // Striping-only classes keep a single copy of each shard.
+        pool_map_->note_lost(oid, target);
+        continue;
+      }
+      // Shard payload: the full object per replica; ~object/k per EC shard
+      // (parity shards are data-shard sized).
+      Bytes shard_bytes = object_bytes;
+      if (const std::size_t k = ec_data_shards(oc); k > 0) {
+        shard_bytes = (object_bytes + k - 1) / k;
+      }
+      std::size_t source = targets_.size();
+      for (std::size_t j = 0; j < ideal.size(); ++j) {
+        if (j != m && pool_map_->alive(ideal[j])) {
+          source = ideal[j];
+          break;
+        }
+      }
+      const auto routes = resolve_stripe(oid);
+      if (source == targets_.size() || routes[m].target == target) {
+        // No surviving replica/parity source (or no replacement target):
+        // the concurrent-failure count exceeded the class's redundancy.
+        pool_map_->note_lost(oid, target);
+        continue;
+      }
+      items.push_back(RebuildItem{oid, target, source, routes[m].target, shard_bytes});
+    }
+  };
+
+  for (Container* cont : conts) {
+    for (const ObjectId& oid : cont->list_arrays()) {
+      auto opened = cont->open_array(oid);
+      if (!opened.is_ok()) continue;
+      enumerate(oid, opened.value()->size());
+    }
+    for (const ObjectId& oid : cont->list_kvs()) {
+      const KvObject* kv = cont->find_kv(oid);
+      if (kv == nullptr) continue;
+      std::uint64_t versions = 0;
+      Bytes bytes = 0;
+      kv->count_live(versions, bytes);
+      enumerate(oid, bytes);
+    }
+  }
+  pool_map_->enqueue_rebuild(std::move(items));
+}
+
+std::vector<net::LinkId> Cluster::rebuild_path(std::size_t src_target, std::size_t dst_target) const {
+  const Target& s = targets_.at(src_target);
+  const Target& d = targets_.at(dst_target);
+  std::vector<net::LinkId> path;
+  // Read side of the surviving source...
+  path.push_back(engine_read_links_[s.engine]);
+  path.push_back(s.read_link);
+  path.push_back(region_read_links_[s.region]);
+  path.push_back(node_io_caps_[s.node]);
+  // ...across the fabric (or the UPI for an intra-node cross-socket move)...
+  if (s.node != d.node) {
+    path.push_back(topology_->nic_tx(net::Endpoint{s.node, s.socket}));
+    path.push_back(topology_->nic_rx(net::Endpoint{d.node, d.socket}));
+    path.push_back(node_io_caps_[d.node]);
+  } else if (s.socket != d.socket) {
+    path.push_back(topology_->upi(s.node));
+  }
+  // ...onto the replacement home's write side.
+  path.push_back(engine_write_links_[d.engine]);
+  path.push_back(d.write_link);
+  path.push_back(region_write_links_[d.region]);
+  return path;
 }
 
 std::vector<net::LinkId> Cluster::write_path(net::Endpoint client, const Target& target) const {

@@ -26,6 +26,7 @@
 #include "fault/fault_plan.h"
 #include "daos/object_id.h"
 #include "daos/objects.h"
+#include "daos/pool_map.h"
 #include "net/topology.h"
 #include "scm/scm.h"
 #include "sim/scheduler.h"
@@ -118,11 +119,50 @@ class Cluster {
   }
 
   // --- placement --------------------------------------------------------------
-  /// Stripe targets of an object, by class: S1 one target, S2 two, SX all.
-  [[nodiscard]] std::vector<std::size_t> placement(const ObjectId& oid) const;
+  /// Ideal stripe targets of an object, by class: S1 one target, S2 two, SX
+  /// all; RP_r r replicas and EC_k+p k+p shards, walked around the target
+  /// ring so no two stripe members share an engine (while engines last) —
+  /// one engine loss never takes out two replicas of a shard.
+  [[nodiscard]] std::vector<std::size_t> stripe_targets(const ObjectId& oid) const;
 
-  /// Shard target (index into placement list result) for a dkey.
+  /// Shard target (index into stripe_targets result) for a dkey.
   [[nodiscard]] std::size_t shard_for_key(const ObjectId& oid, const std::string& key) const;
+
+  /// Stripe member index (into stripe_targets) a dkey hashes to.
+  [[nodiscard]] std::size_t stripe_member_for_key(const ObjectId& oid, const std::string& key) const;
+
+  /// Where one stripe member's I/O goes after pool-map exclusions.
+  struct ShardRoute {
+    std::size_t ideal = 0;   // placement-time home
+    std::size_t target = 0;  // current home (replacement after exclusion)
+    bool available = true;   // data readable at `target`
+    bool lost = false;       // redundancy exhausted: reads fail (data_loss)
+  };
+
+  /// Resolves every stripe member through the pool map: alive members keep
+  /// their home; excluded members route to a deterministic replacement
+  /// (first alive unused target ring-walked from the failed home, preferring
+  /// fresh engines).  A member mid-rebuild reports available=false (its data
+  /// lives only on survivors); a member with no surviving redundancy reports
+  /// lost=true.
+  [[nodiscard]] std::vector<ShardRoute> resolve_stripe(const ObjectId& oid) const;
+
+  // --- pool membership / rebuild ----------------------------------------------
+  [[nodiscard]] PoolMap& pool_map() { return *pool_map_; }
+  [[nodiscard]] const PoolMap& pool_map() const { return *pool_map_; }
+
+  /// Permanently excludes `target` from the pool: enumerates every shard it
+  /// hosted, marks non-redundant shards lost, and queues rebuild flows that
+  /// re-protect redundant shards from survivors onto replacement targets.
+  /// Invoked by the FaultPlan's permanent-failure handler; tests call it
+  /// directly for deterministic failure placement.  Idempotent.
+  void apply_permanent_failure(std::size_t target);
+
+  /// Fabric path of one rebuild flow: source target read side, cross-node
+  /// NICs (or UPI), destination write side — shared with production I/O so
+  /// resilvering interferes (docs/FAULTS.md).
+  [[nodiscard]] std::vector<net::LinkId> rebuild_path(std::size_t src_target,
+                                                      std::size_t dst_target) const;
 
   // --- flow paths -------------------------------------------------------------
   // Connections follow the *client's* rail: a process uses its local NIC,
@@ -191,6 +231,9 @@ class Cluster {
   void build_topology();
   void build_storage();
   void arm_fault_plan();
+  /// Engine-aware ring walk from `base`: prefers targets on engines the
+  /// stripe has not used yet (replica/parity anti-affinity).
+  [[nodiscard]] std::vector<std::size_t> redundant_stripe(std::size_t base, std::size_t width) const;
 
   sim::Scheduler& sched_;
   ClusterConfig config_;
@@ -211,6 +254,7 @@ class Cluster {
   std::size_t containers_created_ = 0;
 
   std::unique_ptr<fault::FaultPlan> fault_plan_;
+  std::unique_ptr<PoolMap> pool_map_;
   Rng rng_;
 };
 

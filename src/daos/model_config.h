@@ -178,6 +178,21 @@ struct ModelConfig {
   // coalesce (documented approximation keeping the event count tractable
   // for OC_SX over hundreds of targets).
   std::size_t max_shard_flows = 4;
+
+  // --- Redundancy / rebuild (mechanism; docs/FAULTS.md) ---------------------
+  // After a permanent target loss the pool map resilvers affected shards
+  // over the fabric.  Each rebuild flow is rate-capped (DAOS throttles
+  // rebuild against production I/O) but still rides the shared engine /
+  // node-cap / NIC links, so resilvering visibly slows the forecast write
+  // stream (bench/fig_rebuild_interference sweeps this cap).
+  double rebuild_rate_cap = gib_per_sec(0.5);
+  // Concurrent rebuild flows per pool (DAOS: per-engine rebuild ULTs are
+  // bounded; we model a small pool-wide bound).
+  std::size_t rebuild_concurrency = 2;
+  // Degraded EC reads reconstruct missing data shards from parity: extra
+  // server-side service bytes per reconstructed byte (decode + read
+  // amplification on the surviving targets).
+  double ec_decode_service_factor = 0.5;
 };
 
 }  // namespace nws::daos

@@ -11,6 +11,10 @@ const char* object_class_name(ObjectClass oc) {
     case ObjectClass::S1: return "S1";
     case ObjectClass::S2: return "S2";
     case ObjectClass::SX: return "SX";
+    case ObjectClass::RP_2: return "RP_2";
+    case ObjectClass::RP_3: return "RP_3";
+    case ObjectClass::EC_2P1: return "EC_2P1";
+    case ObjectClass::EC_4P2: return "EC_4P2";
   }
   return "?";
 }
@@ -19,7 +23,42 @@ ObjectClass object_class_by_name(const std::string& name) {
   if (name == "S1" || name == "s1") return ObjectClass::S1;
   if (name == "S2" || name == "s2") return ObjectClass::S2;
   if (name == "SX" || name == "sx") return ObjectClass::SX;
-  throw std::invalid_argument("unknown object class: " + name + " (expected S1, S2 or SX)");
+  if (name == "RP_2" || name == "rp_2") return ObjectClass::RP_2;
+  if (name == "RP_3" || name == "rp_3") return ObjectClass::RP_3;
+  if (name == "EC_2P1" || name == "ec_2p1") return ObjectClass::EC_2P1;
+  if (name == "EC_4P2" || name == "ec_4p2") return ObjectClass::EC_4P2;
+  throw std::invalid_argument("unknown object class: " + name +
+                              " (expected S1, S2, SX, RP_2, RP_3, EC_2P1 or EC_4P2)");
+}
+
+std::size_t replica_count(ObjectClass oc) {
+  switch (oc) {
+    case ObjectClass::RP_2: return 2;
+    case ObjectClass::RP_3: return 3;
+    default: return 1;
+  }
+}
+
+std::size_t ec_data_shards(ObjectClass oc) {
+  switch (oc) {
+    case ObjectClass::EC_2P1: return 2;
+    case ObjectClass::EC_4P2: return 4;
+    default: return 0;
+  }
+}
+
+std::size_t ec_parity_shards(ObjectClass oc) {
+  switch (oc) {
+    case ObjectClass::EC_2P1: return 1;
+    case ObjectClass::EC_4P2: return 2;
+    default: return 0;
+  }
+}
+
+std::size_t object_class_redundancy(ObjectClass oc) {
+  const std::size_t r = replica_count(oc);
+  if (r > 1) return r - 1;
+  return ec_parity_shards(oc);
 }
 
 ObjectId ObjectId::generate(std::uint32_t user_hi, std::uint64_t user_lo, ObjectType type,

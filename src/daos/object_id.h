@@ -8,9 +8,20 @@
 //   OC_S1 — no striping: the object lives on a single target.
 //   OC_S2 — striped across two targets.
 //   OC_SX — striped across all targets in the pool.
+//
+// Beyond the paper's striping-only classes, the real system's durability
+// classes are modelled too (DAOS use-cases doc, "Storage Node Failure and
+// Resilvering"):
+//
+//   OC_RP_2 / OC_RP_3 — every shard replicated on 2 / 3 targets, placed on
+//     distinct engines so one engine loss never takes out two replicas;
+//   OC_EC_2P1 / OC_EC_4P2 — erasure-coded k+p striping (2+1, 4+2): data
+//     chunks round-robin over k targets plus p parity targets, surviving up
+//     to p concurrent permanent target losses.
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -19,13 +30,29 @@
 namespace nws::daos {
 
 enum class ObjectClass : std::uint8_t {
-  S1,  // no striping
-  S2,  // two-target striping
-  SX,  // striped across all pool targets
+  S1,      // no striping
+  S2,      // two-target striping
+  SX,      // striped across all pool targets
+  RP_2,    // 2-way replication (redundancy 1)
+  RP_3,    // 3-way replication (redundancy 2)
+  EC_2P1,  // erasure coded, 2 data + 1 parity (redundancy 1)
+  EC_4P2,  // erasure coded, 4 data + 2 parity (redundancy 2)
 };
 
 const char* object_class_name(ObjectClass oc);
 ObjectClass object_class_by_name(const std::string& name);
+
+/// Replicas per shard: RP_r -> r, everything else 1.
+std::size_t replica_count(ObjectClass oc);
+/// Erasure-code data shard count k, or 0 for non-EC classes.
+std::size_t ec_data_shards(ObjectClass oc);
+/// Erasure-code parity shard count p, or 0 for non-EC classes.
+std::size_t ec_parity_shards(ObjectClass oc);
+/// Concurrent permanent target losses the class survives with no data loss:
+/// r-1 for RP_r, p for EC_k+p, 0 for the striping-only classes.
+std::size_t object_class_redundancy(ObjectClass oc);
+/// True for classes that keep redundant copies/parity (RP_*, EC_*).
+inline bool is_redundant(ObjectClass oc) { return object_class_redundancy(oc) > 0; }
 
 enum class ObjectType : std::uint8_t {
   key_value,

@@ -339,6 +339,14 @@ std::vector<ObjectId> Container::list_arrays() const {
   return oids;
 }
 
+std::vector<ObjectId> Container::list_kvs() const {
+  std::vector<ObjectId> oids;
+  oids.reserve(kvs_.size());
+  for (const auto& [oid, state] : kvs_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
 Result<ArrayObject*> Container::open_array(const ObjectId& oid) {
   const auto it = arrays_.find(oid);
   if (it == arrays_.end()) {

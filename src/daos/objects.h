@@ -311,6 +311,16 @@ class Container {
   /// Object ids of every array in the container (catalogue / purge).
   [[nodiscard]] std::vector<ObjectId> list_arrays() const;
 
+  /// Object ids of every KV object in the container, sorted (pool-map
+  /// rebuild enumeration after a permanent target loss).
+  [[nodiscard]] std::vector<ObjectId> list_kvs() const;
+
+  /// The KV object with this id, or nullptr if never materialised.
+  [[nodiscard]] const KvObject* find_kv(const ObjectId& oid) const {
+    const auto it = kvs_.find(oid);
+    return it == kvs_.end() ? nullptr : &*it->second;
+  }
+
   [[nodiscard]] bool has_object(const ObjectId& oid) const { return kvs_.count(oid) + arrays_.count(oid) != 0; }
   [[nodiscard]] std::size_t object_count() const { return kvs_.size() + arrays_.size(); }
   [[nodiscard]] std::size_t array_count() const { return arrays_.size(); }

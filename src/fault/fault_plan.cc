@@ -60,10 +60,49 @@ void FaultPlan::generate_windows(const std::vector<TargetLinks>& targets,
       target_windows_.push_back(sample_window(target_rng, t, factor, /*outage=*/false));
     }
     const std::size_t outages = sample_count(target_rng, spec_.target_outages_per_target);
+    std::vector<TargetWindow> sampled;
+    sampled.reserve(outages);
     for (std::size_t i = 0; i < outages; ++i) {
-      TargetWindow w = sample_window(target_rng, t, 0.0, /*outage=*/true);
+      sampled.push_back(sample_window(target_rng, t, 0.0, /*outage=*/true));
+    }
+    // Overlapping outage intervals on one target are merged into a single
+    // window.  Sampled independently they would each push a 0.0 factor and
+    // pop one at their own end: the first end restores capacity while the
+    // second interval still claims the target is down, so the link state and
+    // the target_down() query disagree mid-overlap.  One merged window per
+    // covered span keeps them consistent by construction.
+    std::sort(sampled.begin(), sampled.end(),
+              [](const TargetWindow& a, const TargetWindow& b) { return a.start < b.start; });
+    for (const TargetWindow& w : sampled) {
+      if (!outages_[t].empty() && w.start <= outages_[t].back().second) {
+        auto& last = outages_[t].back();
+        if (w.end > last.second) {
+          last.second = w.end;
+          target_windows_.back().end = w.end;
+        }
+        continue;
+      }
       outages_[t].emplace_back(w.start, w.end);
       target_windows_.push_back(w);
+    }
+  }
+
+  // Permanent failures: distinct targets sampled from a dedicated stream, so
+  // enabling them never perturbs the window schedules above.
+  if (spec_.permanent_failures > 0 && !targets.empty()) {
+    Rng perm_rng = window_rng.fork(3);
+    const std::size_t count = std::min(spec_.permanent_failures, targets.size());
+    std::vector<bool> picked(targets.size(), false);
+    while (permanent_failures_.size() < count) {
+      const auto t = static_cast<std::size_t>(perm_rng.next_below(targets.size()));
+      if (picked[t]) continue;
+      picked[t] = true;
+      PermanentFailure pf;
+      pf.target = t;
+      pf.time = spec_.permanent_failure_time >= 0
+                    ? std::min(spec_.permanent_failure_time, spec_.horizon)
+                    : static_cast<sim::TimePoint>(perm_rng.next_below(horizon));
+      permanent_failures_.push_back(pf);
     }
   }
 
@@ -123,16 +162,19 @@ void FaultPlan::arm(sim::Scheduler& sched, net::FlowScheduler& flows,
   for (const LinkWindow& w : link_windows_) {
     schedule_edges(w.link, w.start, w.end, w.factor);
   }
+  for (const PermanentFailure& pf : permanent_failures_) {
+    sched.schedule_callback(pf.time, [this, pf] {
+      ++stats_.permanent_failures;
+      if (permanent_handler_) permanent_handler_(pf.target, pf.time);
+    });
+  }
 }
 
-bool FaultPlan::target_down(std::size_t target, sim::TimePoint now) {
+bool FaultPlan::target_down(std::size_t target, sim::TimePoint now) const {
   const auto it = outages_.find(target);
   if (it == outages_.end()) return false;
   for (const auto& [start, end] : it->second) {
-    if (now >= start && now < end) {
-      ++stats_.outage_rejections;
-      return true;
-    }
+    if (now >= start && now < end) return true;
   }
   return false;
 }
@@ -152,3 +194,4 @@ bool FaultPlan::transient_error() {
 }
 
 }  // namespace nws::fault
+

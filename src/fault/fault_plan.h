@@ -11,7 +11,10 @@
 //   * RPC drops — a per-operation chance that a request is silently lost,
 //     costing the client the RPC timeout before a `timeout` error surfaces;
 //   * transient operation errors — a per-operation chance of an `io_error`
-//     returned before any functional state changes (so retries are safe).
+//     returned before any functional state changes (so retries are safe);
+//   * permanent target failures — a fixed number of targets leave the pool
+//     forever at sampled instants; the registered handler (daos::Cluster)
+//     excludes them from the pool map and starts rebuild (docs/FAULTS.md).
 //
 // All randomness comes from Rng streams forked off the plan seed, and the
 // windows are applied through scheduler callbacks, so a run with a given
@@ -60,10 +63,20 @@ struct FaultSpec {
   sim::Duration rpc_timeout = sim::milliseconds(2.0);
   double transient_error_rate = 0.0;  // P(io_error) per fallible operation
 
+  // --- permanent target failures -------------------------------------------
+  /// Exact number of targets permanently lost over the horizon (no recovery:
+  /// the pool map excludes them and rebuild re-protects affected shards).
+  /// Distinct targets are sampled deterministically from the plan seed.
+  std::size_t permanent_failures = 0;
+  /// Failure instant: every permanent failure fires at this time when >= 0;
+  /// otherwise each failure samples its own time uniformly in [0, horizon).
+  sim::TimePoint permanent_failure_time = -1;
+
   /// True if any fault class can fire.
   [[nodiscard]] bool any() const {
     return target_slowdowns_per_target > 0.0 || target_outages_per_target > 0.0 ||
-           degradations_per_link > 0.0 || rpc_drop_rate > 0.0 || transient_error_rate > 0.0;
+           degradations_per_link > 0.0 || rpc_drop_rate > 0.0 || transient_error_rate > 0.0 ||
+           permanent_failures > 0;
   }
 
   /// The default chaos profile used by the chaos harness: a moderate mix of
@@ -88,12 +101,20 @@ struct LinkWindow {
   double factor = 1.0;
 };
 
+/// One permanent target loss: the target leaves the pool at `time` and never
+/// returns (docs/FAULTS.md, "Permanent failures").
+struct PermanentFailure {
+  std::size_t target = 0;
+  sim::TimePoint time = 0;
+};
+
 /// Counters for everything the plan injected (observability + test hooks).
 struct FaultStats {
   std::uint64_t rpc_drops = 0;
   std::uint64_t transient_errors = 0;
   std::uint64_t outage_rejections = 0;  // ops refused while a target was down
   std::uint64_t windows_applied = 0;    // window edges executed so far
+  std::uint64_t permanent_failures = 0;  // permanent losses fired so far
 };
 
 /// A target's service links, as the plan needs them (keeps this library
@@ -119,10 +140,26 @@ class FaultPlan {
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<TargetWindow>& target_windows() const { return target_windows_; }
   [[nodiscard]] const std::vector<LinkWindow>& link_windows() const { return link_windows_; }
+  [[nodiscard]] const std::vector<PermanentFailure>& permanent_failures() const {
+    return permanent_failures_;
+  }
+
+  /// Registers the pool-membership callback invoked when a permanent failure
+  /// fires (daos::Cluster excludes the target and starts rebuild).  Must be
+  /// set before arm() for the failures to have any effect.
+  void set_permanent_failure_handler(std::function<void(std::size_t, sim::TimePoint)> handler) {
+    permanent_handler_ = std::move(handler);
+  }
 
   /// True while `target` is inside an outage window (ops must be refused
-  /// with `unavailable`).  Also counts the rejection when true.
-  [[nodiscard]] bool target_down(std::size_t target, sim::TimePoint now);
+  /// with `unavailable`).  Pure query: rejections are accounted separately
+  /// via note_rejection() by whichever layer actually refuses the op, so a
+  /// caller consulting the query on both its read and write paths does not
+  /// double-count.
+  [[nodiscard]] bool target_down(std::size_t target, sim::TimePoint now) const;
+
+  /// Counts one operation refused because its target was down.
+  void note_rejection() { ++stats_.outage_rejections; }
 
   /// Samples whether the next RPC to `target` is dropped (deterministic
   /// stream; mutates plan state).
@@ -147,6 +184,8 @@ class FaultPlan {
   bool armed_ = false;
   std::vector<TargetWindow> target_windows_;
   std::vector<LinkWindow> link_windows_;
+  std::vector<PermanentFailure> permanent_failures_;
+  std::function<void(std::size_t, sim::TimePoint)> permanent_handler_;
   // Outage intervals per target, for the fast target_down() query.
   std::unordered_map<std::size_t, std::vector<std::pair<sim::TimePoint, sim::TimePoint>>> outages_;
   // Active degradation factors per link (windows may overlap; the effective

@@ -58,7 +58,14 @@ FieldIo::FieldIo(daos::Client& client, FieldIoConfig config, std::uint32_t rank)
       // Seeded from (cluster seed, rank) without drawing from the cluster's
       // own stream, so enabling retries never perturbs unrelated jitter.
       retrier_(client, config.retry, mix64(client.cluster().config().seed ^ (0xf1e1d100ull + rank)),
-               &stats_.retries) {}
+               &stats_.retries) {
+  // KV objects are replicated, never erasure coded: parity over a keyspace
+  // has no defined chunking, and real DAOS likewise restricts EC to arrays.
+  if (daos::ec_data_shards(config_.kv_class) > 0) {
+    throw std::invalid_argument(std::string("erasure-coded kv_class is unsupported: ") +
+                                daos::object_class_name(config_.kv_class));
+  }
+}
 
 sim::Task<Status> FieldIo::init() {
   if (initialised_) co_return Status::ok();

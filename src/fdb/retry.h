@@ -83,14 +83,16 @@ class Retrier {
   }
 
   /// Sleeps the exponential backoff for retry number `attempt` (0-based) and
-  /// accounts the retry.
+  /// accounts the retry.  `max_backoff` bounds the *observable* sleep: the
+  /// cap is applied after jitter, so no sleep ever exceeds the policy cap
+  /// (capping before jitter let sleeps overshoot by up to 1 + jitter).
   sim::Task<void> backoff(std::size_t attempt) {
     obs::Span span("retry_backoff", "retry", client_.trace_actor());
     double backoff = static_cast<double>(policy_.initial_backoff);
     for (std::size_t i = 0; i < attempt; ++i) backoff *= policy_.multiplier;
+    backoff *= rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
     const auto cap = static_cast<double>(policy_.max_backoff);
     if (backoff > cap) backoff = cap;
-    backoff *= rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
     if (retries_ != nullptr) ++*retries_;
     client_.note_retry();
     co_await client_.cluster().scheduler().delay(static_cast<sim::Duration>(backoff));

@@ -98,6 +98,21 @@ obs::MetricsSnapshot snapshot_run_metrics(const sim::Scheduler& sched, const net
       m.gauge("epoch.retention_depth",
               static_cast<double>(cluster->config().model.epoch_retention_depth));
     }
+    const daos::RebuildStats& rebuild = cluster->pool_map().stats();
+    // Emitted only when a permanent failure actually excluded a target, so
+    // artifacts of fault-free runs stay byte-identical.
+    if (rebuild.targets_excluded > 0) {
+      m.counter("rebuild.targets_excluded", static_cast<double>(rebuild.targets_excluded));
+      m.counter("rebuild.objects_degraded", static_cast<double>(rebuild.objects_degraded));
+      m.counter("rebuild.objects_rebuilt", static_cast<double>(rebuild.objects_rebuilt));
+      m.counter("rebuild.objects_lost", static_cast<double>(rebuild.objects_lost));
+      m.counter("rebuild.degraded_reads", static_cast<double>(rebuild.degraded_reads));
+      m.counter("rebuild.bytes_rebuilt", static_cast<double>(rebuild.bytes_rebuilt));
+      if (rebuild.last_rebuilt_at >= 0) {
+        m.gauge("rebuild.window_seconds",
+                sim::to_seconds(rebuild.last_rebuilt_at - rebuild.first_excluded_at));
+      }
+    }
   }
   return m;
 }

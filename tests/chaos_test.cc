@@ -25,6 +25,7 @@
 #include <bit>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -92,6 +93,24 @@ Scenario make_scenario(std::uint64_t seed) {
   // fails the scenario.  The retention depth is part of the derived shape.
   sc.cfg.model.epoch_retention_depth = 2 + rng.next_below(7);  // 2-8
   if (sc.pattern == 'B') sc.params.snapshot_reads = true;
+  // Permanent failures — drawn LAST so every pre-existing scenario shape
+  // replays unchanged.  Roughly a quarter of the scenarios lose one or two
+  // targets for good mid-run; their workload then uses object classes whose
+  // redundancy covers the failure count, so the sweep can assert zero loss.
+  const std::size_t permanent = rng.next_below(4) == 0 ? 1 + rng.next_below(2) : 0;
+  if (permanent > 0) {
+    sc.cfg.fault_spec.permanent_failures = permanent;
+    sc.params.kv_class = permanent == 1 ? daos::ObjectClass::RP_2 : daos::ObjectClass::RP_3;
+    if (permanent == 1) {
+      constexpr daos::ObjectClass kSurvivesOne[] = {
+          daos::ObjectClass::RP_2, daos::ObjectClass::EC_2P1, daos::ObjectClass::RP_3};
+      sc.params.array_class = kSurvivesOne[rng.next_below(3)];
+    } else {
+      constexpr daos::ObjectClass kSurvivesTwo[] = {daos::ObjectClass::RP_3,
+                                                    daos::ObjectClass::EC_4P2};
+      sc.params.array_class = kSurvivesTwo[rng.next_below(2)];
+    }
+  }
   return sc;
 }
 
@@ -165,6 +184,18 @@ Outcome run_scenario(std::uint64_t seed) {
                              std::to_string(pin_check.snapshots_released));
   }
 
+  // Durability: scenarios pick object classes whose redundancy covers their
+  // permanent-failure count, so losing any object shard is a violation; and
+  // every queued rebuild must have converged by quiescence.
+  const daos::RebuildStats& rebuild = cluster.pool_map().stats();
+  if (rebuild.objects_lost != 0) {
+    out.violations.push_back("durability: " + std::to_string(rebuild.objects_lost) +
+                             " object shard(s) lost despite redundancy >= concurrent failures");
+  }
+  if (!cluster.pool_map().rebuild_idle()) {
+    out.violations.push_back("rebuild queue did not drain by quiescence");
+  }
+
   std::uint64_t h = fp(0x5eedull, seed);
   h = log_fingerprint(h, result.write_log);
   h = log_fingerprint(h, result.read_log);
@@ -191,7 +222,16 @@ Outcome run_scenario(std::uint64_t seed) {
     h = fp(h, fs.transient_errors);
     h = fp(h, fs.outage_rejections);
     h = fp(h, fs.windows_applied);
+    h = fp(h, fs.permanent_failures);
   }
+  // Durability accounting is part of the deterministic surface too: target
+  // exclusions, shard rebuilds and degraded reads must replay bit-identical.
+  h = fp(h, rebuild.targets_excluded);
+  h = fp(h, rebuild.objects_degraded);
+  h = fp(h, rebuild.objects_rebuilt);
+  h = fp(h, rebuild.objects_lost);
+  h = fp(h, rebuild.degraded_reads);
+  h = fp(h, rebuild.bytes_rebuilt);
   out.fingerprint = h;
 
   if (trace_path != nullptr) {
@@ -403,10 +443,54 @@ TEST(FaultPlanTest, OutageWindowRejectsOnlyInside) {
   }
   ASSERT_NE(outage, nullptr) << "spec with 2 expected outages per target produced none";
   const sim::TimePoint mid = outage->start + (outage->end - outage->start) / 2;
+  // target_down is a pure query: probing it (even repeatedly) must not move
+  // the rejection counter — only an explicit note_rejection() does.
   EXPECT_TRUE(plan.target_down(outage->target, mid));
+  EXPECT_TRUE(plan.target_down(outage->target, mid));
+  EXPECT_EQ(plan.stats().outage_rejections, 0u);
+  plan.note_rejection();
   EXPECT_EQ(plan.stats().outage_rejections, 1u);
   EXPECT_FALSE(plan.target_down(outage->target, outage->end + sim::milliseconds(1.0)));
   EXPECT_EQ(plan.stats().outage_rejections, 1u);  // misses are not counted
+}
+
+TEST(FaultPlanTest, OverlappingOutageWindowsAreMerged) {
+  // A spec dense enough that per-target outage windows routinely overlap.
+  // Before interval merging, overlapping windows restored target capacity
+  // twice (double-scaling it upward); generation must yield disjoint,
+  // start-sorted windows per target under any seed.
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    fault::FaultSpec spec;
+    spec.seed = seed;
+    spec.horizon = sim::seconds(1.0);
+    spec.target_outages_per_target = 12.0;
+    spec.window_min = sim::milliseconds(40.0);
+    spec.window_max = sim::milliseconds(120.0);
+    fault::FaultPlan plan(spec);
+    sim::Scheduler sched;
+    net::FlowScheduler flows(sched);
+    std::vector<fault::TargetLinks> targets;
+    for (int t = 0; t < 3; ++t) {
+      fault::TargetLinks links;
+      links.write_link =
+          flows.add_link(net::Link{"w" + std::to_string(t), net::LinkKind::target_svc, 1e9, {}, 1.0});
+      links.read_link =
+          flows.add_link(net::Link{"r" + std::to_string(t), net::LinkKind::target_svc, 1e9, {}, 1.0});
+      targets.push_back(links);
+    }
+    plan.arm(sched, flows, targets, {});
+    std::map<std::size_t, sim::TimePoint> last_end;
+    for (const fault::TargetWindow& w : plan.target_windows()) {
+      ASSERT_LT(w.start, w.end);
+      const auto it = last_end.find(w.target);
+      if (it != last_end.end()) {
+        EXPECT_GT(w.start, it->second)
+            << "seed " << seed << ": overlapping windows on target " << w.target;
+      }
+      last_end[w.target] = std::max(it == last_end.end() ? w.end : it->second, w.end);
+    }
+    sched.run();
+  }
 }
 
 TEST(FaultPlanTest, DefaultSpecInjectsNothing) {

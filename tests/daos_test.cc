@@ -140,12 +140,12 @@ TEST(ClusterTest, PlacementRespectsObjectClass) {
   const ObjectId s1 = ObjectId::generate(1, 1, ObjectType::array, ObjectClass::S1);
   const ObjectId s2 = ObjectId::generate(1, 1, ObjectType::array, ObjectClass::S2);
   const ObjectId sx = ObjectId::generate(1, 1, ObjectType::array, ObjectClass::SX);
-  EXPECT_EQ(cluster.placement(s1).size(), 1u);
-  EXPECT_EQ(cluster.placement(s2).size(), 2u);
-  EXPECT_EQ(cluster.placement(sx).size(), cluster.target_count());
+  EXPECT_EQ(cluster.stripe_targets(s1).size(), 1u);
+  EXPECT_EQ(cluster.stripe_targets(s2).size(), 2u);
+  EXPECT_EQ(cluster.stripe_targets(sx).size(), cluster.target_count());
 
   // Placement is deterministic.
-  EXPECT_EQ(cluster.placement(s1), cluster.placement(s1));
+  EXPECT_EQ(cluster.stripe_targets(s1), cluster.stripe_targets(s1));
 }
 
 TEST(ClusterTest, PlacementSpreadsObjects) {
@@ -157,7 +157,7 @@ TEST(ClusterTest, PlacementSpreadsObjects) {
   const std::size_t n = 4800;
   for (std::size_t i = 0; i < n; ++i) {
     const ObjectId oid = ObjectId::generate(7, i, ObjectType::array, ObjectClass::S1);
-    ++load[cluster.placement(oid)[0]];
+    ++load[cluster.stripe_targets(oid)[0]];
   }
   // Mean 100 per target; no target should be wildly hot or empty.
   for (const std::size_t l : load) {
@@ -172,7 +172,7 @@ TEST(ClusterTest, ShardForKeyStaysInStripe) {
   cfg.server_nodes = 2;
   Cluster cluster(sched, cfg);
   const ObjectId kv = ObjectId::generate(3, 9, ObjectType::key_value, ObjectClass::S2);
-  const auto stripe = cluster.placement(kv);
+  const auto stripe = cluster.stripe_targets(kv);
   for (int i = 0; i < 50; ++i) {
     const std::size_t shard = cluster.shard_for_key(kv, "key" + std::to_string(i));
     EXPECT_TRUE(shard == stripe[0] || shard == stripe[1]);

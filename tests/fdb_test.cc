@@ -1,6 +1,7 @@
 // Unit, integration and property tests for the field I/O layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "daos/cluster.h"
 #include "fdb/field_io.h"
 #include "fdb/field_key.h"
+#include "fdb/retry.h"
 
 namespace nws::fdb {
 namespace {
@@ -367,6 +369,33 @@ TEST(FieldIoFaults, ContainerIssueSurfacesInFullMode) {
       EXPECT_TRUE(result.is_ok()) << "no-containers mode does not create containers";
     }
   }
+}
+
+TEST(RetrierTest, BackoffNeverExceedsPolicyCap) {
+  // Regression: the cap used to be applied before jitter, so a maxed-out
+  // backoff jittered up to 1.5x past max_backoff.  The cap now bounds the
+  // observable sleep.
+  sim::Scheduler sched;
+  daos::Cluster cluster(sched, daos::ClusterConfig{});
+  daos::Client client(cluster, cluster.client_endpoint(0, 0), 0);
+  const RetryPolicy policy;  // 20 ms cap, 0.5 jitter
+  Retrier retrier(client, policy, 1234);
+  const auto cap = policy.max_backoff;
+  sim::Duration longest = 0;
+  auto body = [&]() -> sim::Task<void> {
+    for (int i = 0; i < 64; ++i) {
+      // Attempt 12's raw exponential (~2 s) is far past the 20 ms cap, so a
+      // jitter applied after capping would overshoot on most draws.
+      const sim::TimePoint before = sched.now();
+      co_await retrier.backoff(12);
+      const sim::Duration slept = sched.now() - before;
+      EXPECT_LE(slept, cap);
+      longest = std::max(longest, slept);
+    }
+  };
+  sched.spawn(body());
+  sched.run();
+  EXPECT_EQ(longest, cap);  // the cap is reached, not just approached
 }
 
 }  // namespace
