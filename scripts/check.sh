@@ -5,8 +5,8 @@
 # coroutine frame or a buffer overrun under injected faults fails here even
 # when the plain build happens to pass — and the TSan pass guards the
 # work-stealing sweep engine (src/harness/run_pool) against data races.
-# The plain and TSan passes additionally run one bench binary with
-# --trace/--report and validate both JSON artifacts with obs_lint, so a
+# The plain and TSan passes additionally run a set of quick bench binaries
+# with --trace/--report and validate the JSON artifacts with obs_lint, so a
 # schema regression in the observability layer fails CI, not Perfetto.
 #
 # A coverage stage (--coverage-only, or part of the full run) rebuilds with
@@ -85,6 +85,14 @@ check_artifacts() {
     --trace="$scratch/rebuild.trace.json" --report="$scratch/rebuild.report.json" >/dev/null
   "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
     --trace="$scratch/rebuild.trace.json" --report="$scratch/rebuild.report.json"
+  # The interface bench exercises the dfs.* span/metric namespace (file
+  # system over KV+Array, POSIX emulation) and asserts the native >= dfs >=
+  # posix metadata ordering, so an emulation-overhead regression fails here.
+  echo "==> artifact check ($build_dir, fig_interfaces --trace/--report)"
+  "$build_dir"/bench/fig_interfaces --quick --reps=1 \
+    --trace="$scratch/dfs.trace.json" --report="$scratch/dfs.report.json" >/dev/null
+  "$build_dir"/bench/obs_lint --schema=scripts/obs_schema.txt \
+    --trace="$scratch/dfs.trace.json" --report="$scratch/dfs.report.json"
   rm -rf "$scratch"
 }
 
@@ -116,7 +124,7 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "==> TSan build (build-tsan/, -fsanitize=thread): run pool + chaos sweep"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DNWS_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test partition_test fig6_objclass_size micro_components fig_snapshot_rw fig_rebuild_interference obs_lint
+  cmake --build build-tsan -j "$jobs" --target harness_test chaos_test partition_test dfs_test fig6_objclass_size micro_components fig_snapshot_rw fig_rebuild_interference fig_interfaces obs_lint
   # The pool tests pin their own thread counts; the chaos sweep runs a
   # reduced scenario count (TSan is ~10x slower) across all hardware threads
   # to actually exercise cross-thread stealing.  StatsRaceTest hammers the
@@ -134,6 +142,11 @@ if [[ $run_tsan -eq 1 ]]; then
     ./build-tsan/tests/partition_test --gtest_filter='SpscMailboxTest.*:PartitionedSchedulerTest.*:PartitionedBenchTest.*'
   TSAN_OPTIONS=halt_on_error=1 NWS_CHAOS_COUNT=24 NWS_JOBS=0 \
     ./build-tsan/tests/chaos_test
+  # The dfs property/chaos sweep drives the POSIX emulation's shared
+  # metadata mutex and the per-client coroutine interleavings; a reduced
+  # case count keeps the TSan stage within seconds.
+  TSAN_OPTIONS=halt_on_error=1 NWS_DFS_COUNT=2 \
+    ./build-tsan/tests/dfs_test --gtest_filter='DfsPropertyTest.*:DfsChaosTest.*:PosixFsTest.SharedMetadataLockSerialisesProcesses'
   TSAN_OPTIONS=halt_on_error=1 check_artifacts build-tsan
 fi
 

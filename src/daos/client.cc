@@ -172,6 +172,66 @@ sim::Task<Status> Client::kv_put(KvHandle& handle, const std::string& key, std::
   co_return Status::ok();
 }
 
+sim::Task<Status> Client::kv_put_if_absent(KvHandle& handle, const std::string& key,
+                                           std::string value) {
+  obs::Span span("kv_put_if_absent", "daos", actor_, trace_iteration_,
+                 static_cast<double>(value.size()));
+  if (!handle.valid()) throw std::logic_error("kv_put_if_absent on closed handle");
+  if (handle.pinned()) {
+    co_return Status::error(Errc::invalid, "kv_put_if_absent through a snapshot handle");
+  }
+  const ModelConfig& m = cluster_.model();
+  const auto route = kv_route(handle.oid, key, /*is_write=*/true);
+  if (!route.status.is_ok()) co_return route.status;
+  const std::size_t shard = route.primary;
+  co_await rpc(shard, m.kv_op_overhead);
+  if (Status fault = co_await fault_check(shard); !fault.is_ok()) co_return fault;
+  if (cluster_.inject_io_failure()) {
+    co_return Status::error(Errc::io_error, "injected KV conditional put failure");
+  }
+
+  handle.kv->writer_enter();
+  const std::size_t contenders = handle.kv->active_writers() - 1;
+  Bytes retry = m.kv_contention_retry_bytes *
+                static_cast<Bytes>(std::min(contenders, m.kv_contention_retry_cap));
+  const sim::TimePoint now_put = cluster_.scheduler().now();
+  const bool recently_read = handle.kv->last_read() >= 0 &&
+                             now_put - handle.kv->last_read() < m.kv_hot_entry_window;
+  if (handle.kv->active_readers() > 0 || recently_read) retry += m.kv_cross_contention_bytes;
+  co_await cluster_.flows().transfer(cluster_.service_path(shard, /*is_write=*/true),
+                                     m.kv_put_service_bytes + retry);
+
+  // The existence check and the put form one serialised transaction on the
+  // object, so the replica fan-out happens under the lock: losers of a
+  // concurrent insert race must not forward anything.
+  co_await handle.kv->object_lock().lock();
+  if (handle.kv->contains(key, kEpochLatest)) {
+    handle.kv->object_lock().unlock();
+    handle.kv->writer_exit();
+    co_return Status::error(Errc::already_exists, "KV key exists: " + key);
+  }
+  if (!route.replicas.empty()) {
+    std::vector<sim::Task<void>> fan;
+    fan.reserve(route.replicas.size());
+    for (const std::size_t target : route.replicas) {
+      auto one = [](Cluster& cluster, std::vector<net::LinkId> p, Bytes b) -> sim::Task<void> {
+        co_await cluster.flows().transfer(std::move(p), b);
+      }(cluster_, cluster_.service_path(target, /*is_write=*/true), m.kv_put_service_bytes);
+      fan.push_back(std::move(one));
+    }
+    co_await sim::when_all(cluster_.scheduler(), std::move(fan));
+  }
+  co_await cluster_.scheduler().delay(
+      static_cast<sim::Duration>(static_cast<double>(m.kv_put_serial) * jitter()));
+  handle.kv->put(key, std::move(value), handle.container->write_epoch());
+  handle.kv->note_update(cluster_.scheduler().now());
+  handle.kv->object_lock().unlock();
+  handle.kv->writer_exit();
+
+  ++stats_.kv_puts;
+  co_return Status::ok();
+}
+
 sim::Task<Result<std::string>> Client::kv_get(KvHandle& handle, const std::string& key) {
   obs::Span span("kv_get", "daos", actor_, trace_iteration_);
   if (!handle.valid()) throw std::logic_error("kv_get on closed handle");
@@ -227,9 +287,14 @@ sim::Task<Status> Client::kv_remove(KvHandle& handle, const std::string& key) {
 }
 
 sim::Task<std::vector<std::string>> Client::kv_list(KvHandle& handle) {
+  obs::Span span("kv_list", "daos", actor_, trace_iteration_);
   if (!handle.valid()) throw std::logic_error("kv_list on closed handle");
   const ModelConfig& m = cluster_.model();
-  // Enumeration walks every shard; cost scales with entry count.
+  // Enumeration walks every shard; cost scales with entry count.  ORDERING
+  // CONTRACT: the returned keys are lexicographically sorted regardless of
+  // insertion order or concurrent inserts — readdir over a directory KV
+  // depends on it (KvObject backs entries with an ordered map; the
+  // DaosTest.KvListOrderingContract regression pins the contract).
   const auto keys = handle.kv->list(handle.epoch);
   const auto per_key = sim::microseconds(2.0);
   co_await rpc(kv_route(handle.oid, "", /*is_write=*/false).primary, m.kv_op_overhead);
@@ -639,6 +704,36 @@ sim::Task<Bytes> Client::array_get_size(ArrayHandle& handle) {
   if (!handle.valid()) throw std::logic_error("array_get_size on closed handle");
   co_await rpc(handle.lead_target, cluster_.model().array_open_overhead);
   co_return handle.array->size(handle.epoch);
+}
+
+sim::Task<Status> Client::array_set_size(ArrayHandle& handle, Bytes size) {
+  obs::Span span("array_set_size", "daos", actor_, trace_iteration_, static_cast<double>(size));
+  if (!handle.valid()) throw std::logic_error("array_set_size on closed handle");
+  if (handle.pinned()) {
+    co_return Status::error(Errc::invalid, "array_set_size through a snapshot handle");
+  }
+  const ModelConfig& m = cluster_.model();
+  co_await rpc(handle.lead_target, m.array_open_overhead);
+  if (Status fault = co_await fault_check(handle.lead_target); !fault.is_ok()) co_return fault;
+  co_await container_indirection(handle.container, handle.lead_target, /*is_write=*/true);
+
+  if (size > handle.array->size()) {
+    auto charged = cluster_.charge_capacity(handle.lead_target, size - handle.array->size());
+    if (!charged.is_ok()) co_return charged.status();
+    handle.array->note_allocation(charged.value().first, charged.value().second);
+  }
+
+  const Epoch write_epoch = handle.container->write_epoch();
+  const bool retain = handle.container->retains_superseded();
+  co_await handle.array->object_lock().lock();
+  const Bytes cow = handle.array->pending_cow_bytes(write_epoch, retain);
+  if (cow > 0) {
+    co_await cluster_.flows().transfer(
+        cluster_.service_path(handle.lead_target, /*is_write=*/true), cow);
+  }
+  handle.array->truncate(size, write_epoch, retain);
+  handle.array->object_lock().unlock();
+  co_return Status::ok();
 }
 
 sim::Task<void> Client::array_close(ArrayHandle& handle) {

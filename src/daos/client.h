@@ -152,6 +152,12 @@ class Client {
   /// Opens (materialising on first use) the KV object `oid` in `cont`.
   sim::Task<KvHandle> kv_open(ContHandle cont, const ObjectId& oid);
   sim::Task<Status> kv_put(KvHandle& handle, const std::string& key, std::string value);
+  /// Conditional insert (DAOS_COND_KEY_INSERT): stores `key` only if it is
+  /// absent at the newest state, failing with already_exists otherwise.  The
+  /// check-and-put is one serialised transaction on the object — concurrent
+  /// inserters of the same key see exactly one winner — which is what lets
+  /// a namespace build exclusive create/mkdir on top of plain KV objects.
+  sim::Task<Status> kv_put_if_absent(KvHandle& handle, const std::string& key, std::string value);
   sim::Task<Result<std::string>> kv_get(KvHandle& handle, const std::string& key);
   sim::Task<Status> kv_remove(KvHandle& handle, const std::string& key);
   sim::Task<std::vector<std::string>> kv_list(KvHandle& handle);
@@ -164,6 +170,10 @@ class Client {
   sim::Task<Status> array_write(ArrayHandle& handle, Bytes offset, const std::uint8_t* data, Bytes len);
   sim::Task<Result<Bytes>> array_read(ArrayHandle& handle, Bytes offset, std::uint8_t* out, Bytes len);
   sim::Task<Bytes> array_get_size(ArrayHandle& handle);
+  /// Sets the array's logical size (daos_array_set_size): shrinking discards
+  /// the tail, growing extends with zeros.  Newly covered extent growth is
+  /// charged against pool capacity like a write's.
+  sim::Task<Status> array_set_size(ArrayHandle& handle, Bytes size);
   sim::Task<void> array_close(ArrayHandle& handle);
   /// Destroys an array object (daos_array_destroy), releasing its SCM
   /// allocations — the building block of the catalogue's purge.

@@ -206,6 +206,42 @@ Bytes ArrayObject::write(Bytes offset, const std::uint8_t* data, Bytes len, Epoc
   return cow;
 }
 
+Bytes ArrayObject::truncate(Bytes new_size, Epoch epoch, bool retain_superseded) {
+  Bytes cow = 0;
+  if (versions_.empty()) {
+    Version initial;
+    initial.epoch = epoch;
+    versions_.push_back(std::move(initial));
+  } else if (versions_.back().epoch > epoch) {
+    throw std::logic_error("ArrayObject::truncate at a stale epoch");
+  } else if (versions_.back().epoch < epoch) {
+    if (retain_superseded) {
+      Version next = versions_.back();
+      next.epoch = epoch;
+      cow = next.size;
+      versions_.push_back(std::move(next));
+      if (stats_ != nullptr) stats_->cow_bytes += cow;
+    } else {
+      versions_.back().epoch = epoch;
+    }
+  }
+
+  Version& v = versions_.back();
+  if (v.size == new_size) return cow;
+  if (mode_ == PayloadMode::full) {
+    v.bytes.resize(new_size, 0);
+  } else if (new_size == 0) {
+    v.digest = kFnvBasis;
+    v.exact = true;
+  } else {
+    // The hash of the surviving prefix (shrink) or of appended zeros (grow)
+    // cannot be derived from the rolling digest.
+    v.exact = false;
+  }
+  v.size = new_size;
+  return cow;
+}
+
 Bytes ArrayObject::read(Bytes offset, std::uint8_t* out, Bytes len, Epoch epoch) const {
   const Version* v = version_at(epoch);
   if (v == nullptr || offset >= v->size) return 0;

@@ -190,6 +190,15 @@ class ArrayObject {
   Bytes write(Bytes offset, const std::uint8_t* data, Bytes len, Epoch epoch = 1,
               bool retain_superseded = false);
 
+  /// Sets the `epoch` version's logical size to `new_size`
+  /// (daos_array_set_size): shrinking discards the tail, growing extends
+  /// with zeros.  Versioning follows write(): truncating past a retained
+  /// older version copies it first (the returned bytes), with retention off
+  /// the newest version is recycled in place.  In digest mode a truncate to
+  /// 0 yields a fresh exact digest; any other size change folds the version
+  /// inexact (the discarded/zero bytes are not recoverable from the hash).
+  Bytes truncate(Bytes new_size, Epoch epoch = 1, bool retain_superseded = false);
+
   /// Reads up to `len` bytes at `offset` of the `epoch` version into `out`
   /// (may be null in digest mode); returns the number of bytes read
   /// (clamped to that version's size).

@@ -1,0 +1,68 @@
+// fdb-style file-per-field mapping over the dfs namespace.
+//
+// The paper's multi-interface comparison stores the same forecast output
+// through each access layer; for the file-system layers that means mapping
+// the fdb's (forecast key, field key) identifiers onto paths:
+//
+//   /fdb/<md5(forecast key)>/<md5(field key)>
+//
+// one directory per forecast (the fdb "index" granularity), one regular file
+// per field.  A field write is the POSIX publish dance — create a temporary
+// name, write the payload, rename to the final name — so the namespace never
+// exposes a half-written field, mirroring how file-based NWP archivers
+// publish atomically on file systems without object semantics.
+//
+// The same campaign runs through either backend: native dfs calls, or the
+// PosixFs adapter with its serialisation and alignment penalties.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "dfs/dfs.h"
+#include "dfs/posix.h"
+
+namespace nws::dfs {
+
+/// Field storage over a mounted namespace, through the native dfs API or the
+/// POSIX-emulation adapter (exactly one backend per instance).
+class ForecastFiles {
+ public:
+  explicit ForecastFiles(Dfs& dfs) : dfs_(&dfs) {}
+  explicit ForecastFiles(PosixFs& posix) : posix_(&posix) {}
+
+  /// Final path of a field ("/fdb/<md5>/<md5>").
+  static std::string field_path(const std::string& forecast_key, const std::string& field_key);
+
+  /// Publishes one field: write to a temporary name, rename over the final
+  /// name (replacing any previous version of the field).
+  sim::Task<Status> write_field(const std::string& forecast_key, const std::string& field_key,
+                                const std::uint8_t* data, Bytes len);
+
+  /// Reads a field into `out` (capacity `cap`); returns the byte count.
+  sim::Task<Result<Bytes>> read_field(const std::string& forecast_key,
+                                      const std::string& field_key, std::uint8_t* out, Bytes cap);
+
+  /// Field names (md5 hex) under a forecast, sorted.
+  sim::Task<Result<std::vector<std::string>>> list_fields(const std::string& forecast_key);
+
+  /// Removes one field's file.
+  sim::Task<Status> remove_field(const std::string& forecast_key, const std::string& field_key);
+
+ private:
+  /// Creates /fdb and the forecast directory if this instance has not yet
+  /// (already_exists from another writer is success).
+  sim::Task<Status> ensure_dirs(const std::string& forecast_dir);
+
+  sim::Task<Status> do_mkdir(const std::string& path);
+
+  Dfs* dfs_ = nullptr;      // native backend
+  PosixFs* posix_ = nullptr;  // POSIX-emulation backend
+  std::unordered_set<std::string> known_dirs_;
+  std::uint64_t tmp_counter_ = 0;
+};
+
+}  // namespace nws::dfs

@@ -1,0 +1,37 @@
+// Path handling for the dfs namespace (docs/DFS.md).
+//
+// Paths are absolute, '/'-separated, and normalised before any namespace
+// walk: repeated separators collapse, a trailing separator is dropped (except
+// for the root itself), and "." / ".." components are rejected rather than
+// resolved — the namespace stores no parent pointers, so lexical ".."
+// resolution could cross a renamed directory and observe a path that never
+// existed.  Component names may not contain '/' or be empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nws::dfs {
+
+/// Normalises `path` ("/a//b/" -> "/a/b").  Fails with Errc::invalid for
+/// relative paths, empty paths, and "." / ".." components.
+Result<std::string> normalize_path(const std::string& path);
+
+/// Splits a normalised absolute path into its components ("/" -> {}).
+std::vector<std::string> split_path(const std::string& normalized);
+
+/// Parent of a normalised path ("/a/b" -> "/a", "/a" -> "/").  The root has
+/// no parent: invalid.
+Result<std::string> parent_path(const std::string& normalized);
+
+/// Final component of a normalised path ("/a/b" -> "b").  Invalid for "/".
+Result<std::string> base_name(const std::string& normalized);
+
+/// Whether `candidate` equals `prefix` or lies inside it ("/a/b" is inside
+/// "/a", not inside "/ab").  Both must be normalised.  Guards directory
+/// renames against moving a directory into its own subtree.
+bool path_within(const std::string& candidate, const std::string& prefix);
+
+}  // namespace nws::dfs

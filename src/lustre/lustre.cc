@@ -197,6 +197,73 @@ sim::Task<Result<Bytes>> LustreClient::read(FileHandle handle, Bytes offset, Byt
   co_return to_read;
 }
 
+sim::Task<Status> LustreClient::write(FileHandle handle, Bytes offset, const std::uint8_t* data,
+                                      Bytes len) {
+  const Status st = co_await write(handle, offset, len);
+  if (!st.is_ok() || data == nullptr || len == 0) co_return st;
+  LustreSystem::FileState* file = system_.find(handle.inode);
+  if (file->content.size() < offset + len) file->content.resize(offset + len, 0);
+  std::copy(data, data + len, file->content.begin() + static_cast<std::ptrdiff_t>(offset));
+  co_return st;
+}
+
+sim::Task<Result<Bytes>> LustreClient::read(FileHandle handle, Bytes offset, std::uint8_t* out,
+                                            Bytes len) {
+  auto n = co_await read(handle, offset, len);
+  if (!n.is_ok() || out == nullptr) co_return n;
+  LustreSystem::FileState* file = system_.find(handle.inode);
+  // Bytes written through the size-only API have no stored payload: zeros.
+  std::fill(out, out + n.value(), 0);
+  if (offset < file->content.size()) {
+    const Bytes have = std::min<Bytes>(n.value(), file->content.size() - offset);
+    std::copy_n(file->content.begin() + static_cast<std::ptrdiff_t>(offset), have, out);
+  }
+  co_return n;
+}
+
+sim::Task<Status> LustreClient::rename(const std::string& from, const std::string& to) {
+  co_await system_.mds_op(endpoint_);
+  const auto it = system_.files_by_path_.find(from);
+  if (it == system_.files_by_path_.end()) {
+    co_return Status::error(Errc::not_found, "no such file: " + from);
+  }
+  const std::uint64_t inode = it->second;
+  if (from == to) co_return Status::ok();
+  const auto dst = system_.files_by_path_.find(to);
+  if (dst != system_.files_by_path_.end()) {
+    system_.files_.erase(dst->second);
+    system_.files_by_path_.erase(dst);
+  }
+  system_.files_by_path_.erase(from);
+  system_.files_by_path_.emplace(to, inode);
+  system_.find(inode)->path = to;
+  co_return Status::ok();
+}
+
+sim::Task<Status> LustreClient::unlink(const std::string& path) {
+  co_await system_.mds_op(endpoint_);
+  const auto it = system_.files_by_path_.find(path);
+  if (it == system_.files_by_path_.end()) {
+    co_return Status::error(Errc::not_found, "no such file: " + path);
+  }
+  system_.files_.erase(it->second);
+  system_.files_by_path_.erase(it);
+  co_return Status::ok();
+}
+
+sim::Task<Result<std::vector<std::string>>> LustreClient::list(const std::string& dir) {
+  co_await system_.mds_op(endpoint_);
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : system_.files_by_path_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  std::sort(names.begin(), names.end());  // hash-map order is not stable
+  co_return names;
+}
+
 sim::Task<Bytes> LustreClient::file_size(FileHandle handle) {
   co_await system_.mds_op(endpoint_);
   LustreSystem::FileState* file = system_.find(handle.inode);

@@ -83,8 +83,20 @@ class LustreClient {
   sim::Task<Result<FileHandle>> open(const std::string& path);
   sim::Task<Status> write(FileHandle handle, Bytes offset, Bytes len);
   sim::Task<Result<Bytes>> read(FileHandle handle, Bytes offset, Bytes len);
+  /// Content-bearing variants: identical timing, plus the payload is kept
+  /// with the file so interface benchmarks can checksum what they read back.
+  sim::Task<Status> write(FileHandle handle, Bytes offset, const std::uint8_t* data, Bytes len);
+  sim::Task<Result<Bytes>> read(FileHandle handle, Bytes offset, std::uint8_t* out, Bytes len);
   sim::Task<Bytes> file_size(FileHandle handle);
   sim::Task<void> close(FileHandle& handle);
+
+  /// rename(2): one MDS op; an existing file at `to` is replaced.
+  sim::Task<Status> rename(const std::string& from, const std::string& to);
+  /// unlink(2): one MDS op; drops the file and frees its layout.
+  sim::Task<Status> unlink(const std::string& path);
+  /// Names directly under `dir` ("/a" lists "/a/b" as "b", not "/a/b/c"),
+  /// sorted.  One MDS op, like a readdir RPC.
+  sim::Task<Result<std::vector<std::string>>> list(const std::string& dir);
 
  private:
   friend class LustreSystem;
@@ -133,6 +145,7 @@ class LustreSystem {
     Bytes stripe_size = 1_MiB;
     std::vector<std::size_t> osts;  // stripe targets, round-robin from base
     Bytes size = 0;
+    std::vector<std::uint8_t> content;  // payload (content-bearing API only)
     std::unique_ptr<sim::Mutex> range_lock;  // POSIX write serialisation
   };
 

@@ -321,6 +321,82 @@ TEST(ClientTest, KvRoundTripThroughApi) {
   });
 }
 
+TEST(ClientTest, KvListOrderingContract) {
+  // kv_list guarantees lexicographic key order regardless of insertion or
+  // removal history — namespace layers (dfs readdir, catalogue walks) fold
+  // results in list order, so this contract is what keeps them bit-identical.
+  sim::Scheduler sched;
+  Cluster cluster(sched, small_config());
+  run_client(cluster, [](Client& c) -> sim::Task<void> {
+    ContHandle main = co_await c.main_cont_open();
+    KvHandle kv =
+        co_await c.kv_open(main, ObjectId::generate(0, 21, ObjectType::key_value, ObjectClass::SX));
+    static constexpr const char* kKeys[] = {"zeta", "alpha", "mid", "alpha2", "b"};
+    for (const char* key : kKeys) {
+      (co_await c.kv_put(kv, key, "v")).expect_ok("kv_put");
+    }
+    const std::vector<std::string> first = co_await c.kv_list(kv);
+    EXPECT_EQ(first, (std::vector<std::string>{"alpha", "alpha2", "b", "mid", "zeta"}));
+    (co_await c.kv_remove(kv, "mid")).expect_ok("kv_remove");
+    (co_await c.kv_put(kv, "aa", "v")).expect_ok("kv_put");
+    const std::vector<std::string> second = co_await c.kv_list(kv);
+    EXPECT_EQ(second, (std::vector<std::string>{"aa", "alpha", "alpha2", "b", "zeta"}));
+    co_await c.kv_close(kv);
+  });
+}
+
+TEST(ClientTest, KvPutIfAbsentOneWinner) {
+  sim::Scheduler sched;
+  Cluster cluster(sched, small_config());
+  run_client(cluster, [](Client& c) -> sim::Task<void> {
+    ContHandle main = co_await c.main_cont_open();
+    KvHandle kv =
+        co_await c.kv_open(main, ObjectId::generate(0, 22, ObjectType::key_value, ObjectClass::SX));
+    (co_await c.kv_put_if_absent(kv, "k", "first")).expect_ok("kv_put_if_absent");
+    EXPECT_EQ((co_await c.kv_put_if_absent(kv, "k", "second")).code(), Errc::already_exists);
+    EXPECT_EQ((co_await c.kv_get(kv, "k")).value(), "first");  // loser changed nothing
+    co_await c.kv_close(kv);
+  });
+}
+
+TEST(ClientTest, KvPutIfAbsentConcurrentRacersSeeOneWinner) {
+  sim::Scheduler sched;
+  Cluster cluster(sched, small_config());
+  int winners = 0;
+  auto racer = [](Cluster& cl, std::uint32_t rank, int* wins) -> sim::Task<void> {
+    Client c(cl, cl.client_endpoint(0, rank), rank);
+    ContHandle main = co_await c.main_cont_open();
+    KvHandle kv =
+        co_await c.kv_open(main, ObjectId::generate(0, 23, ObjectType::key_value, ObjectClass::SX));
+    const std::string value = "r" + std::to_string(rank);
+    const Status st = co_await c.kv_put_if_absent(kv, "slot", value);
+    if (st.is_ok()) ++*wins;
+    else EXPECT_EQ(st.code(), Errc::already_exists);
+    co_await c.kv_close(kv);
+  };
+  for (std::uint32_t r = 0; r < 4; ++r) sched.spawn(racer(cluster, r, &winners));
+  sched.run();
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(ClientTest, KvPutIfAbsentRejectedOnSnapshotHandle) {
+  sim::Scheduler sched;
+  Cluster cluster(sched, small_config());
+  run_client(cluster, [](Client& c) -> sim::Task<void> {
+    ContHandle main = co_await c.main_cont_open();
+    (void)co_await c.cont_commit(main);
+    auto snap = co_await c.cont_snapshot(main);
+    EXPECT_TRUE(snap.is_ok());
+    if (snap.is_ok()) {
+      KvHandle kv = co_await c.kv_open(
+          snap.value(), ObjectId::generate(0, 24, ObjectType::key_value, ObjectClass::SX));
+      EXPECT_EQ((co_await c.kv_put_if_absent(kv, "k", "v")).code(), Errc::invalid);
+      co_await c.kv_close(kv);
+      (void)co_await c.snapshot_close(snap.value());
+    }
+  });
+}
+
 TEST(ClientTest, ArrayWriteReadThroughApi) {
   sim::Scheduler sched;
   Cluster cluster(sched, small_config());
